@@ -1,0 +1,49 @@
+(* The benchmark harness: regenerates every quantitative claim of the
+   paper's evaluation (experiments E1-E10, DESIGN.md §3) and times the
+   substrate itself (B1-B4).
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- e4 e5   # selected experiments
+     dune exec bench/main.exe -- micro   # only the Bechamel group *)
+
+let experiments =
+  [
+    ("e1", Experiments.e1);
+    ("e2", Experiments.e2);
+    ("e3", Experiments.e3);
+    ("e4", Experiments.e4);
+    ("e5", Experiments.e5);
+    ("e6", Experiments.e6);
+    ("e7", Experiments.e7);
+    ("e8", Experiments.e8);
+    ("e9", Experiments.e9);
+    ("e10", Experiments.e10);
+    ("e11", Experiments.e11);
+    ("e12", Experiments.e12);
+    ("e13", Experiments.e13);
+    ("e14", Experiments.e14);
+    ("e15", Experiments.e15);
+    ("e16", Experiments.e16);
+    ("e17", Experiments.e17);
+    ("micro", Micro.run);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ :: [] | [] -> List.map fst experiments
+  in
+  Format.printf
+    "Reproduction harness for \"Eventually consistent failure detectors\" (JPDC 65, 2005)@.";
+  Format.printf "Experiments: %s@." (String.concat " " requested);
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+        Format.printf "unknown experiment %S (available: %s)@." name
+          (String.concat " " (List.map fst experiments));
+        exit 1)
+    requested;
+  Format.printf "@.Done.@."

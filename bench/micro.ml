@@ -1,0 +1,87 @@
+(* Bechamel micro-benchmarks of the substrate (B1-B4 in DESIGN.md):
+   wall-clock cost of the simulator and of complete protocol runs.  These
+   are about the reproduction artefact itself, not the paper's claims —
+   they answer "how expensive is one experiment?". *)
+
+open Bechamel
+open Toolkit
+
+(* B1: raw engine throughput — events through the queue. *)
+let bench_engine_events =
+  Test.make ~name:"b1: engine, heartbeat <>P n=8, 500 ticks"
+    (Staged.stage (fun () ->
+         let engine =
+           Sim.Engine.create ~seed:1 ~n:8 ~link:(Sim.Link.reliable ~min_delay:1 ~max_delay:8 ()) ()
+         in
+         let _ = Fd.Heartbeat_p.install engine Fd.Heartbeat_p.default_params in
+         Sim.Engine.run_until engine 500))
+
+(* B2: the ring detector, whose epoch-vector piggybacking is the heaviest
+   per-message work in the FD layer. *)
+let bench_ring =
+  Test.make ~name:"b2: ring <>S n=16, 500 ticks, one crash"
+    (Staged.stage (fun () ->
+         let engine =
+           Sim.Engine.create ~seed:2 ~n:16 ~link:(Sim.Link.reliable ~min_delay:1 ~max_delay:8 ()) ()
+         in
+         Sim.Fault.apply engine (Sim.Fault.crash 5 ~at:100);
+         let _ = Fd.Ring_s.install engine Fd.Ring_s.default_params in
+         Sim.Engine.run_until engine 500))
+
+(* B3: one complete <>C consensus instance over the full stack. *)
+let bench_consensus =
+  Test.make ~name:"b3: <>C consensus n=5, full stack, to decision"
+    (Staged.stage (fun () ->
+         let r =
+           Scenario.run_consensus ~net:{ Scenario.default_net with seed = 3 } ~horizon:500 ~n:5
+             ~detector:Scenario.Ec_from_leader
+             ~protocol:(Scenario.Ec Ecfd.Ec_consensus.default_params) ()
+         in
+         assert (Spec.Consensus_props.decision_round r.Scenario.trace <> None)))
+
+(* B4: trace checking — the Spec layer over a finished run. *)
+let bench_spec =
+  let r =
+    Scenario.run_consensus ~net:{ Scenario.default_net with seed = 4 } ~horizon:3000 ~n:6
+      ~crashes:(Sim.Fault.crash 1 ~at:50) ~detector:Scenario.Ec_from_leader
+      ~protocol:(Scenario.Ec Ecfd.Ec_consensus.default_params) ()
+  in
+  let run =
+    Spec.Fd_props.make_run ~component:(Fd.Fd_handle.component r.Scenario.fd) ~n:6 r.Scenario.trace
+  in
+  Test.make ~name:"b4: property checking of a finished trace"
+    (Staged.stage (fun () ->
+         ignore (Spec.Fd_props.satisfies_class Fd.Classes.Ec run);
+         ignore (Spec.Consensus_props.check_all r.Scenario.trace ~n:6)))
+
+let run () =
+  Tables.heading "B1-B4" "Bechamel micro-benchmarks of the reproduction substrate";
+  let tests =
+    Test.make_grouped ~name:"micro" ~fmt:"%s %s"
+      [ bench_engine_events; bench_ring; bench_consensus; bench_spec ]
+  in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let estimate =
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) -> Printf.sprintf "%.3f ms" (t /. 1e6)
+          | Some [] | None -> "-"
+        in
+        let r2 =
+          match Analyze.OLS.r_square ols with
+          | Some r -> Printf.sprintf "%.4f" r
+          | None -> "-"
+        in
+        [ name; estimate; r2 ] :: acc)
+      results []
+    |> List.sort compare
+  in
+  Tables.table ~headers:[ "benchmark"; "time/run (OLS)"; "r^2" ] ~rows;
+  Tables.note "Monotonic-clock OLS estimates; each run rebuilds its whole system."

@@ -1,0 +1,68 @@
+(* Plain-text table rendering for the experiment reports.  When the
+   ECFD_CSV_DIR environment variable points at a directory, every table is
+   also written there as <experiment-id>[-k].csv for plotting. *)
+
+let current_id = ref "table"
+let table_counter = ref 0
+
+let heading id title =
+  current_id := String.lowercase_ascii id;
+  table_counter := 0;
+  Format.printf "@.%s@." (String.make 78 '=');
+  Format.printf "%s  %s@." id title;
+  Format.printf "%s@.@." (String.make 78 '=')
+
+let csv_escape cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let write_csv ~headers ~rows =
+  match Sys.getenv_opt "ECFD_CSV_DIR" with
+  | None -> ()
+  | Some dir ->
+    incr table_counter;
+    let suffix = if !table_counter = 1 then "" else Printf.sprintf "-%d" !table_counter in
+    let file = Filename.concat dir (!current_id ^ suffix ^ ".csv") in
+    let oc = open_out file in
+    List.iter
+      (fun row -> output_string oc (String.concat "," (List.map csv_escape row) ^ "\n"))
+      (headers :: rows);
+    close_out oc
+
+let note fmt = Format.printf ("  " ^^ fmt ^^ "@.")
+
+let table ~headers ~rows =
+  write_csv ~headers ~rows;
+  let all = headers :: rows in
+  let columns = List.length headers in
+  let width c =
+    List.fold_left (fun acc row -> Stdlib.max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init columns width in
+  let print_row row =
+    Format.printf "  |";
+    List.iteri
+      (fun c cell -> Format.printf " %*s |" (List.nth widths c) cell)
+      row;
+    Format.printf "@."
+  in
+  let rule () =
+    Format.printf "  +";
+    List.iter (fun w -> Format.printf "%s+" (String.make (w + 2) '-')) widths;
+    Format.printf "@."
+  in
+  rule ();
+  print_row headers;
+  rule ();
+  List.iter print_row rows;
+  rule ()
+
+let fi = string_of_int
+
+let ff f = Printf.sprintf "%.1f" f
+
+let mean xs =
+  match xs with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0.0 (List.map float_of_int xs) /. float_of_int (List.length xs)

@@ -1,0 +1,365 @@
+(* Command-line driver: run detectors, transformations and consensus
+   protocols in the simulator from the shell.
+
+     dune exec bin/ecfd_cli.exe -- fd --detector ec-from-leader -n 5 --crash 1@100
+     dune exec bin/ecfd_cli.exe -- consensus --protocol ec -n 7 --crash 0@10 --crash 2@50
+     dune exec bin/ecfd_cli.exe -- transform -n 5 --gst 300 --crash 2@400
+*)
+
+open Cmdliner
+
+(* --- shared arguments --- *)
+
+let n_arg =
+  let doc = "Number of processes." in
+  Arg.(value & opt int 5 & info [ "n"; "processes" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Simulation seed (runs are deterministic per seed)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let gst_arg =
+  let doc = "Global stabilisation time: before it, delays are unbounded-looking." in
+  Arg.(value & opt int 0 & info [ "gst" ] ~docv:"T" ~doc)
+
+let delta_arg =
+  let doc = "Post-GST bound on message delay." in
+  Arg.(value & opt int 8 & info [ "delta" ] ~docv:"D" ~doc)
+
+let horizon_arg =
+  let doc = "How long to run the simulation." in
+  Arg.(value & opt int 8000 & info [ "horizon" ] ~docv:"T" ~doc)
+
+let crash_conv =
+  let parse s =
+    match String.split_on_char '@' s with
+    | [ p; t ] -> (
+      match (int_of_string_opt p, int_of_string_opt t) with
+      | Some p, Some t when p >= 0 && t >= 0 -> Ok (p, t)
+      | _ -> Error (`Msg "expected PID@TIME with non-negative integers"))
+    | _ -> Error (`Msg "expected PID@TIME, e.g. 1@100 (PID is 0-based)")
+  in
+  let print ppf (p, t) = Format.fprintf ppf "%d@%d" p t in
+  Arg.conv (parse, print)
+
+let crashes_arg =
+  let doc = "Crash process $(i,PID) at time $(i,T) (0-based pid; repeatable)." in
+  Arg.(value & opt_all crash_conv [] & info [ "crash" ] ~docv:"PID@T" ~doc)
+
+let verbose_arg =
+  let doc = "Dump the full event trace." in
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
+
+let timeline_arg =
+  let doc = "Render ASCII timelines of the run (leadership, suspicions, decisions)." in
+  Arg.(value & flag & info [ "timeline" ] ~doc)
+
+let dump_trace_arg =
+  let doc = "Write the full event trace to $(docv) (one event per line)." in
+  Arg.(value & opt (some string) None & info [ "dump-trace" ] ~docv:"FILE" ~doc)
+
+let dump_trace path trace =
+  Option.iter
+    (fun file ->
+      let oc = open_out file in
+      Sim.Trace.dump trace oc;
+      close_out oc;
+      Format.printf "trace written to %s (%d events)@." file (Sim.Trace.length trace))
+    path
+
+let detector_conv =
+  let all =
+    [
+      ("heartbeat-p", `Heartbeat_p);
+      ("ring-s", `Ring_s);
+      ("ring-w", `Ring_w);
+      ("leader-s", `Leader_s);
+      ("stable-omega", `Stable_omega);
+      ("ec-from-stable", `Ec_from_stable);
+      ("ec-from-leader", `Ec_from_leader);
+      ("ec-from-ring", `Ec_from_ring);
+      ("ec-from-omega-chu", `Ec_from_omega_chu);
+      ("ec-from-heartbeat", `Ec_from_heartbeat);
+      ("ec-from-perfect", `Ec_from_perfect);
+    ]
+  in
+  Arg.enum all
+
+let net ~seed ~gst ~delta = { (Scenario.chaotic_net ~seed ~gst ()) with delta }
+
+let to_detector ~schedule = function
+  | `Heartbeat_p -> Scenario.Heartbeat_p
+  | `Ring_s -> Scenario.Ring_s
+  | `Ring_w -> Scenario.Ring_w
+  | `Leader_s -> Scenario.Leader_s
+  | `Stable_omega -> Scenario.Stable_omega
+  | `Ec_from_stable -> Scenario.Ec_from_stable
+  | `Ec_from_leader -> Scenario.Ec_from_leader
+  | `Ec_from_ring -> Scenario.Ec_from_ring
+  | `Ec_from_omega_chu -> Scenario.Ec_from_omega_chu
+  | `Ec_from_heartbeat -> Scenario.Ec_from_heartbeat
+  | `Ec_from_perfect -> Scenario.Ec_from_perfect schedule
+
+let print_trace trace =
+  List.iter
+    (fun e -> Format.printf "%a@." Sim.Trace.pp_event e)
+    (Sim.Trace.events trace)
+
+let print_matrix run =
+  Format.printf "@.Property matrix:@.";
+  List.iter
+    (fun (prop, (report : Spec.Fd_props.report)) ->
+      Format.printf "  %-38s %s@."
+        (Fd.Classes.property_name prop)
+        (match report.Spec.Fd_props.since with
+        | Some t when report.Spec.Fd_props.holds -> Printf.sprintf "holds (from t=%d)" t
+        | _ when report.Spec.Fd_props.holds -> "holds"
+        | _ -> "violated"))
+    (Spec.Fd_props.class_matrix run);
+  Format.printf "@.Classes satisfied on this run:";
+  List.iter
+    (fun cls ->
+      if Spec.Fd_props.satisfies_class cls run then Format.printf " %s" (Fd.Classes.name cls))
+    Fd.Classes.all;
+  Format.printf "@."
+
+(* --- fd subcommand --- *)
+
+let fd_cmd =
+  let run detector n seed gst delta horizon crashes verbose timeline dump =
+    let schedule = Sim.Fault.crashes crashes in
+    let detector = to_detector ~schedule detector in
+    let _, run, stats =
+      Scenario.fd_run ~net:(net ~seed ~gst ~delta) ~crashes:schedule ~horizon ~n ~detector ()
+    in
+    if verbose then print_trace run.Spec.Fd_props.trace;
+    dump_trace dump run.Spec.Fd_props.trace;
+    if timeline then begin
+      Format.printf "@.Leadership:@.%s" (Spec.Timeline.render_leadership run ~horizon);
+      Format.printf "@.Suspicions:@.%s" (Spec.Timeline.render_suspicions run ~horizon);
+      Format.printf "%s@." Spec.Timeline.legend
+    end;
+    Format.printf "detector %s, n=%d, seed=%d, gst=%d, crashes=%a@."
+      (Scenario.detector_name detector)
+      n seed gst Sim.Fault.pp schedule;
+    print_matrix run;
+    let total = Sim.Stats.total stats in
+    Format.printf "@.Messages: sent=%d delivered=%d dropped=%d@." total.Sim.Stats.sent
+      total.Sim.Stats.delivered total.Sim.Stats.dropped
+  in
+  let doc = "Run a failure detector and report which classes it satisfied." in
+  Cmd.v
+    (Cmd.info "fd" ~doc)
+    Term.(
+      const run
+      $ Arg.(
+          value
+          & opt detector_conv `Ec_from_leader
+          & info [ "detector"; "d" ] ~docv:"DETECTOR" ~doc:"Which detector to install.")
+      $ n_arg $ seed_arg $ gst_arg $ delta_arg $ horizon_arg $ crashes_arg $ verbose_arg
+      $ timeline_arg $ dump_trace_arg)
+
+(* --- consensus subcommand --- *)
+
+let protocol_conv =
+  Arg.enum
+    [
+      ("ec", `Ec); ("ec-merged", `Ec_merged); ("ec-strict", `Ec_strict); ("ct", `Ct); ("mr", `Mr); ("hr", `Hr);
+    ]
+
+let consensus_cmd =
+  let run protocol detector n seed gst delta horizon crashes verbose timeline dump =
+    let schedule = Sim.Fault.crashes crashes in
+    let detector = to_detector ~schedule detector in
+    let protocol =
+      match protocol with
+      | `Ec -> Scenario.Ec Ecfd.Ec_consensus.default_params
+      | `Ec_merged ->
+        Scenario.Ec { Ecfd.Ec_consensus.default_params with merge_phase01 = true }
+      | `Ec_strict ->
+        Scenario.Ec
+          { Ecfd.Ec_consensus.default_params with wait_mode = Ecfd.Ec_consensus.Strict_majority }
+      | `Ct -> Scenario.Ct
+      | `Mr -> Scenario.Mr
+      | `Hr -> Scenario.Hr
+    in
+    let r =
+      Scenario.run_consensus ~net:(net ~seed ~gst ~delta) ~crashes:schedule ~horizon ~n ~detector
+        ~protocol ()
+    in
+    if verbose then print_trace r.Scenario.trace;
+    dump_trace dump r.Scenario.trace;
+    if timeline then begin
+      let fd_run =
+        Spec.Fd_props.make_run
+          ~component:(Fd.Fd_handle.component r.Scenario.fd)
+          ~n r.Scenario.trace
+      in
+      Format.printf "@.Leadership:@.%s" (Spec.Timeline.render_leadership fd_run ~horizon);
+      Format.printf "@.Decisions:@.%s"
+        (Spec.Timeline.render_decisions r.Scenario.trace ~n ~horizon);
+      Format.printf "%s@.@." Spec.Timeline.legend
+    end;
+    Format.printf "protocol %s over %s, n=%d, seed=%d, gst=%d, crashes=%a@."
+      (Scenario.protocol_name protocol)
+      (Scenario.detector_name detector)
+      n seed gst Sim.Fault.pp schedule;
+    Format.printf "@.Decisions:@.";
+    List.iter
+      (fun (p, v, round, at) ->
+        Format.printf "  %a decides %d in round %d at t=%d@." Sim.Pid.pp p v round at)
+      (Sim.Trace.decisions r.Scenario.trace);
+    (match Spec.Consensus_props.check_all r.Scenario.trace ~n with
+    | [] -> Format.printf "@.Uniform Consensus holds on this run.@."
+    | violations ->
+      List.iter
+        (fun v -> Format.printf "VIOLATION: %a@." Spec.Consensus_props.pp_violation v)
+        violations);
+    Format.printf "@.Messages per round:@.";
+    List.iter
+      (fun (round, sends) -> Format.printf "  round %d: %d@." round sends)
+      (Spec.Round_metrics.sends_by_round r.Scenario.trace
+         ~component:
+           (match protocol with
+           | Scenario.Ec _ -> Ecfd.Ec_consensus.component
+           | Scenario.Ct -> Consensus.Ct_consensus.component
+           | Scenario.Mr -> Consensus.Mr_consensus.component
+           | Scenario.Hr -> Consensus.Hr_consensus.component))
+  in
+  let doc = "Solve one instance of Uniform Consensus and check its properties." in
+  Cmd.v
+    (Cmd.info "consensus" ~doc)
+    Term.(
+      const run
+      $ Arg.(
+          value & opt protocol_conv `Ec
+          & info [ "protocol"; "p" ] ~docv:"PROTO" ~doc:"ec | ec-merged | ec-strict | ct | mr.")
+      $ Arg.(
+          value
+          & opt detector_conv `Ec_from_leader
+          & info [ "detector"; "d" ] ~docv:"DETECTOR" ~doc:"Which detector to install.")
+      $ n_arg $ seed_arg $ gst_arg $ delta_arg $ horizon_arg $ crashes_arg $ verbose_arg
+      $ timeline_arg $ dump_trace_arg)
+
+(* --- transform subcommand --- *)
+
+let transform_cmd =
+  let run n seed gst delta horizon crashes piggyback =
+    let schedule = Sim.Fault.crashes crashes in
+    let engine = Scenario.engine ~net:(net ~seed ~gst ~delta) ~n () in
+    Sim.Fault.apply engine schedule;
+    let hooks = Fd.Leader_s.make_hooks () in
+    let base = Fd.Leader_s.install ~hooks engine Fd.Leader_s.default_params in
+    let ec = Ecfd.Ec.of_leader_s base ~engine in
+    let p =
+      if piggyback then
+        Ecfd.Ec_to_p.install_piggybacked engine ~hooks ~underlying:ec Ecfd.Ec_to_p.default_params
+      else Ecfd.Ec_to_p.install engine ~underlying:ec Ecfd.Ec_to_p.default_params
+    in
+    Sim.Engine.run_until engine horizon;
+    let run =
+      Spec.Fd_props.make_run ~component:(Fd.Fd_handle.component p) ~n (Sim.Engine.trace engine)
+    in
+    Format.printf "<>C -> <>P transformation (%s), n=%d, seed=%d, gst=%d, crashes=%a@."
+      (if piggyback then "piggybacked" else "stand-alone")
+      n seed gst Sim.Fault.pp schedule;
+    print_matrix run;
+    let stats = Sim.Engine.stats engine in
+    Format.printf "@.Messages sent: transformation=%d, underlying detector=%d@."
+      (Sim.Stats.component_counts stats ~component:Ecfd.Ec_to_p.component).Sim.Stats.sent
+      (Sim.Stats.component_counts stats ~component:Fd.Leader_s.component).Sim.Stats.sent
+  in
+  let doc = "Run the Section 4 transformation <>C -> <>P and verify Theorem 1." in
+  Cmd.v
+    (Cmd.info "transform" ~doc)
+    Term.(
+      const run $ n_arg $ seed_arg $ gst_arg $ delta_arg $ horizon_arg $ crashes_arg
+      $ Arg.(
+          value & flag
+          & info [ "piggyback" ]
+              ~doc:"Ride the suspect lists on the underlying detector's heartbeats."))
+
+(* --- sweep subcommand --- *)
+
+let sweep_cmd =
+  let run protocol detector param values seeds n delta horizon =
+    let protocol =
+      match protocol with
+      | `Ec -> Scenario.Ec Ecfd.Ec_consensus.default_params
+      | `Ec_merged -> Scenario.Ec { Ecfd.Ec_consensus.default_params with merge_phase01 = true }
+      | `Ec_strict ->
+        Scenario.Ec
+          { Ecfd.Ec_consensus.default_params with wait_mode = Ecfd.Ec_consensus.Strict_majority }
+      | `Ct -> Scenario.Ct
+      | `Mr -> Scenario.Mr
+      | `Hr -> Scenario.Hr
+    in
+    let detector = to_detector ~schedule:Sim.Fault.none detector in
+    Format.printf "sweep of %s for %s over %s (%d seeds per point)@.@." param
+      (Scenario.protocol_name protocol)
+      (Scenario.detector_name detector)
+      seeds;
+    Format.printf "  %8s | %7s | %12s | %11s | %6s@." param "ok" "mean t(done)" "mean rounds"
+      "n";
+    Format.printf "  ---------+---------+--------------+-------------+-------@.";
+    List.iter
+      (fun value ->
+        let gst = if param = "gst" then value else 0 in
+        let n = if param = "n" then value else n in
+        let results =
+          List.init seeds (fun i ->
+              let seed = i + 1 in
+              let r =
+                Scenario.run_consensus
+                  ~net:(net ~seed ~gst ~delta)
+                  ~horizon ~n ~detector ~protocol ()
+              in
+              ( Spec.Consensus_props.check_all r.Scenario.trace ~n = [],
+                Spec.Consensus_props.last_decision_time r.Scenario.trace,
+                Spec.Consensus_props.decision_round r.Scenario.trace ))
+        in
+        let ok = List.length (List.filter (fun (ok, _, _) -> ok) results) in
+        let mean xs =
+          match xs with
+          | [] -> "-"
+          | _ ->
+            Printf.sprintf "%.1f"
+              (List.fold_left ( +. ) 0.0 (List.map float_of_int xs)
+              /. float_of_int (List.length xs))
+        in
+        Format.printf "  %8d | %3d/%3d | %12s | %11s | %6d@." value ok seeds
+          (mean (List.filter_map (fun (_, t, _) -> t) results))
+          (mean (List.filter_map (fun (_, _, r) -> r) results))
+          n)
+      values
+  in
+  let doc = "Sweep a parameter (gst or n) and report consensus latency/rounds." in
+  Cmd.v
+    (Cmd.info "sweep" ~doc)
+    Term.(
+      const run
+      $ Arg.(
+          value & opt protocol_conv `Ec
+          & info [ "protocol"; "p" ] ~docv:"PROTO" ~doc:"ec | ec-merged | ec-strict | ct | mr | hr.")
+      $ Arg.(
+          value
+          & opt detector_conv `Ec_from_leader
+          & info [ "detector"; "d" ] ~docv:"DETECTOR" ~doc:"Which detector to install.")
+      $ Arg.(
+          value & opt string "gst"
+          & info [ "param" ] ~docv:"PARAM" ~doc:"Which parameter to sweep: gst or n.")
+      $ Arg.(
+          value
+          & opt (list int) [ 0; 200; 600; 1200 ]
+          & info [ "values" ] ~docv:"V1,V2,..." ~doc:"Sweep points.")
+      $ Arg.(
+          value & opt int 5 & info [ "seeds" ] ~docv:"K" ~doc:"Seeds (runs) per sweep point.")
+      $ n_arg $ delta_arg $ horizon_arg)
+
+let main =
+  let doc = "Eventually consistent failure detectors (Larrea, Fernández, Arévalo) — simulator" in
+  Cmd.group
+    (Cmd.info "ecfd" ~doc ~version:"1.0.0")
+    [ fd_cmd; consensus_cmd; transform_cmd; sweep_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,47 @@
+(* Leader failover: crash successive leaders and watch (a) the ◇C detector
+   re-elect, and (b) the Section 4 transformation keep producing a coherent
+   ◇P suspect list through the changes of authority.
+
+   Run with:  dune exec examples/leader_failover.exe *)
+
+let () =
+  let n = 6 in
+  let engine = Scenario.engine ~net:{ Scenario.default_net with seed = 3 } ~n () in
+
+  (* Kill the first three processes in leadership order, one per epoch. *)
+  let schedule = Sim.Fault.crashes [ (0, 500); (1, 1200); (2, 2000) ] in
+  Sim.Fault.apply engine schedule;
+
+  (* Stack: leader-based ◇S -> ◇C (free) -> ◇P (Fig. 2 transformation). *)
+  let base = Fd.Leader_s.install engine Fd.Leader_s.default_params in
+  let ec = Ecfd.Ec.of_leader_s base ~engine in
+  let p = Ecfd.Ec_to_p.install engine ~underlying:ec Ecfd.Ec_to_p.default_params in
+
+  let observer = 5 in
+  let watch at =
+    Sim.Engine.at engine at (fun () ->
+        let leader =
+          match Fd.Fd_handle.trusted ec observer with
+          | Some l -> Sim.Pid.to_string l
+          | None -> "-"
+        in
+        Format.printf "t=%5d  p6 trusts %-3s | <>P list at p6: %a@." at leader Sim.Pid.pp_set
+          (Fd.Fd_handle.suspected p observer))
+  in
+  List.iter watch [ 100; 400; 700; 1000; 1500; 1900; 2400; 3500 ];
+
+  Sim.Engine.run_until engine 8000;
+
+  let run =
+    Spec.Fd_props.make_run ~component:(Fd.Fd_handle.component p) ~n (Sim.Engine.trace engine)
+  in
+  Format.printf "@.Transformation output is <>P on this run: %b@."
+    (Spec.Fd_props.satisfies_class Fd.Classes.P_eventual run);
+  List.iter
+    (fun (victim, at) ->
+      match Spec.Fd_props.detection_time run ~victim with
+      | Some t ->
+        Format.printf "  crash of %a (t=%d): suspected everywhere for good from t=%d@."
+          Sim.Pid.pp victim at t
+      | None -> Format.printf "  crash of %a: never converged (unexpected)@." Sim.Pid.pp victim)
+    schedule

@@ -1,0 +1,48 @@
+(* Quickstart: build a 5-process system, install the zero-extra-cost ◇C
+   detector (leader-based ◇S of [16] + the Section 3 construction), crash a
+   process, and watch suspicion and leadership converge.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  let n = 5 in
+  (* A partially synchronous network: asynchronous-looking before GST=200,
+     message delays bounded by 8 ticks afterwards. *)
+  let net = Scenario.chaotic_net ~seed:7 ~gst:200 () in
+  let engine = Scenario.engine ~net ~n () in
+
+  (* p1 (the initial leader) will crash at t=600. *)
+  Sim.Fault.apply engine (Sim.Fault.crash 0 ~at:600);
+
+  (* The ◇C detector: leader-based ◇S + Section 3 construction (free). *)
+  let ec = Scenario.install_detector engine Scenario.Ec_from_leader in
+
+  (* Observe the detector at one process, p3, every 100 ticks. *)
+  let observe at =
+    Sim.Engine.at engine at (fun () ->
+        let v = Fd.Fd_handle.query ec 2 in
+        Format.printf "t=%4d  p3's view:  %a@." at Fd.Fd_view.pp v)
+  in
+  List.iter observe [ 50; 150; 300; 500; 620; 700; 1000 ];
+
+  Sim.Engine.run_until engine 2000;
+
+  (* Check the run against Definition 1 with the Spec library. *)
+  let run =
+    Spec.Fd_props.make_run ~component:(Fd.Fd_handle.component ec) ~n (Sim.Engine.trace engine)
+  in
+  Format.printf "@.Definition 1 on this run:@.";
+  List.iter
+    (fun (prop, (report : Spec.Fd_props.report)) ->
+      Format.printf "  %-38s %s@."
+        (Fd.Classes.property_name prop)
+        (match report.since with
+        | Some t when report.holds -> Printf.sprintf "holds (from t=%d)" t
+        | _ when report.holds -> "holds"
+        | _ -> "VIOLATED"))
+    (Spec.Fd_props.class_matrix run);
+  Format.printf "  => detector is in class <>C: %b@."
+    (Spec.Fd_props.satisfies_class Fd.Classes.Ec run);
+  match Spec.Fd_props.eventual_leader run with
+  | Some l -> Format.printf "  => eventual common leader: %a@." Sim.Pid.pp l
+  | None -> Format.printf "  => no common leader (unexpected)@."

@@ -1,0 +1,42 @@
+(** Reliable Broadcast (R-broadcast / R-deliver), after Chandra–Toueg [6].
+
+    The consensus algorithms use this primitive to propagate the decision
+    (Task 3 of Fig. 4).  Its contract:
+
+    - {b validity}: if a correct process R-broadcasts m, it R-delivers m;
+    - {b agreement}: if a correct process R-delivers m, every correct
+      process R-delivers m;
+    - {b uniform integrity}: every process R-delivers m at most once, and
+      only if m was previously R-broadcast.
+
+    Implementation: the classic message-relay algorithm — on first receipt
+    of a broadcast message, re-send it to every other process, then deliver
+    it locally.  Agreement holds with reliable links even if the
+    originator crashes right after reaching a single correct process.
+    Messages are identified by (origin, per-origin sequence number). *)
+
+type t
+
+type transport =
+  [ `Engine  (** Plain engine sends: assumes reliable links (the default). *)
+  | `Stubborn of Stubborn.t
+    (** Route every copy through retransmitting {!Stubborn} channels, which
+        makes the broadcast survive fair-lossy links.  The stubborn
+        instance must be dedicated to this broadcast (it takes its delivery
+        handlers). *)
+  ]
+
+val default_component : string
+
+val create : ?component:string -> ?transport:transport -> Sim.Engine.t -> t
+(** Installs one module per process.  At most one reliable-broadcast
+    instance per component name. *)
+
+val subscribe : t -> Sim.Pid.t -> (origin:Sim.Pid.t -> Sim.Payload.t -> unit) -> unit
+(** Register the R-deliver callback of one process (several allowed). *)
+
+val rbroadcast : t -> src:Sim.Pid.t -> tag:string -> Sim.Payload.t -> unit
+(** R-broadcast a payload; the sender R-delivers its own message locally. *)
+
+val delivered_count : t -> Sim.Pid.t -> int
+(** Number of distinct messages R-delivered by the process so far. *)

@@ -1,0 +1,82 @@
+type Sim.Payload.t +=
+  | Data of { seq : int; tag : string; body : Sim.Payload.t }
+  | Ack of { seq : int }
+
+type outgoing = {
+  o_dst : Sim.Pid.t;
+  o_seq : int;
+  o_tag : string;
+  o_body : Sim.Payload.t;
+}
+
+type process_state = {
+  mutable next_seq : int;
+  mutable unacked : outgoing list;  (** Newest first. *)
+  seen : (Sim.Pid.t * int, unit) Hashtbl.t;  (** Delivered (src, seq). *)
+  mutable handler : (src:Sim.Pid.t -> Sim.Payload.t -> unit) option;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  component : string;
+  states : process_state array;
+}
+
+let default_component = "stubborn"
+
+let create ?(component = default_component) ?(period = 10) engine =
+  if period <= 0 then invalid_arg "Stubborn.create: period must be positive";
+  let n = Sim.Engine.n engine in
+  let t =
+    {
+      engine;
+      component;
+      states =
+        Array.init n (fun _ ->
+            { next_seq = 0; unacked = []; seen = Hashtbl.create 32; handler = None });
+    }
+  in
+  let transmit p { o_dst; o_seq; o_tag; o_body } =
+    Sim.Engine.send engine ~component ~tag:o_tag ~src:p ~dst:o_dst
+      (Data { seq = o_seq; tag = o_tag; body = o_body })
+  in
+  let on_message p ~src payload =
+    let st = t.states.(p) in
+    match payload with
+    | Data { seq; tag = _; body } ->
+      (* Always (re-)acknowledge — the previous ack may have been lost. *)
+      Sim.Engine.send engine ~component ~tag:"ack" ~src:p ~dst:src (Ack { seq });
+      if not (Hashtbl.mem st.seen (src, seq)) then begin
+        Hashtbl.add st.seen (src, seq) ();
+        match st.handler with
+        | Some h -> h ~src body
+        | None -> ()
+      end
+    | Ack { seq } ->
+      st.unacked <- List.filter (fun o -> not (o.o_dst = src && o.o_seq = seq)) st.unacked
+    | _ -> ()
+  in
+  List.iter
+    (fun p ->
+      Sim.Engine.register engine ~component p (on_message p);
+      ignore
+        (Sim.Engine.every engine p ~period (fun () ->
+             List.iter (transmit p) t.states.(p).unacked)
+          : unit -> unit))
+    (Sim.Pid.all ~n);
+  t
+
+let register t p handler =
+  let st = t.states.(p) in
+  if st.handler <> None then invalid_arg "Stubborn.register: handler already registered";
+  st.handler <- Some handler
+
+let send t ~src ~dst ~tag body =
+  let st = t.states.(src) in
+  let msg = { o_dst = dst; o_seq = st.next_seq; o_tag = tag; o_body = body } in
+  st.next_seq <- st.next_seq + 1;
+  st.unacked <- msg :: st.unacked;
+  Sim.Engine.send t.engine ~component:t.component ~tag ~src ~dst:dst
+    (Data { seq = msg.o_seq; tag; body })
+
+let unacked t p = List.length t.states.(p).unacked

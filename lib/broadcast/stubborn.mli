@@ -1,0 +1,38 @@
+(** Stubborn point-to-point channels: reliable, exactly-once delivery over
+    fair-lossy links.
+
+    The paper's Fig. 2 gets away with fair-lossy output links because its
+    traffic is {i periodic} — a lost suspect list is superseded by the next
+    one.  One-shot protocol messages (estimates, ACKs, decisions) enjoy no
+    such luck: over a lossy link they need retransmission.  A {i stubborn}
+    channel resends every unacknowledged message each period until the
+    receiver's acknowledgement arrives, and the receiver deduplicates by
+    (sender, sequence number) — together: every message sent over a
+    fair-lossy link is delivered exactly once, and the channel is
+    {b quiescent} (once everything is acked, it falls silent).
+
+    This is the classic construction behind quiescent reliable
+    communication (Aguilera, Chen, Toueg [1], cited in Section 1.1 —
+    their heartbeat detector exists to make it quiescent without
+    time-outs; ours stays simple and acks directly).
+
+    {!Reliable_broadcast} accepts a stubborn transport, which makes the
+    whole decision-dissemination path of the consensus stack run over
+    lossy links (see the tests). *)
+
+type t
+
+val default_component : string
+
+val create : ?component:string -> ?period:int -> Sim.Engine.t -> t
+(** [period] (default 10) is the retransmission interval. *)
+
+val register : t -> Sim.Pid.t -> (src:Sim.Pid.t -> Sim.Payload.t -> unit) -> unit
+(** The exactly-once delivery handler of one process (one per process). *)
+
+val send : t -> src:Sim.Pid.t -> dst:Sim.Pid.t -> tag:string -> Sim.Payload.t -> unit
+(** Queue a message; it is transmitted now and retransmitted every period
+    until acknowledged.  Self-sends deliver locally at once. *)
+
+val unacked : t -> Sim.Pid.t -> int
+(** Messages the process is still retransmitting — 0 once quiescent. *)

@@ -1,0 +1,94 @@
+type Sim.Payload.t +=
+  | Urb of { origin : Sim.Pid.t; seq : int; tag : string; body : Sim.Payload.t }
+
+type message_state = {
+  mutable copies : Sim.Pid.Set.t;  (** Who we have seen echo the message. *)
+  mutable relayed : bool;
+  mutable delivered : bool;
+  mutable body : Sim.Payload.t option;
+}
+
+type process_state = {
+  mutable next_seq : int;
+  messages : (Sim.Pid.t * int, message_state) Hashtbl.t;
+  mutable rev_subscribers : (origin:Sim.Pid.t -> Sim.Payload.t -> unit) list;
+  mutable delivered_count : int;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  component : string;
+  majority : int;
+  states : process_state array;
+}
+
+let default_component = "urb"
+
+let message_state st key =
+  match Hashtbl.find_opt st.messages key with
+  | Some m -> m
+  | None ->
+    let m = { copies = Sim.Pid.Set.empty; relayed = false; delivered = false; body = None } in
+    Hashtbl.add st.messages key m;
+    m
+
+let create ?(component = default_component) engine =
+  let n = Sim.Engine.n engine in
+  let t =
+    {
+      engine;
+      component;
+      majority = (n / 2) + 1;
+      states =
+        Array.init n (fun _ ->
+            {
+              next_seq = 0;
+              messages = Hashtbl.create 16;
+              rev_subscribers = [];
+              delivered_count = 0;
+            });
+    }
+  in
+  let try_deliver p key =
+    let st = t.states.(p) in
+    let m = message_state st key in
+    if (not m.delivered) && Sim.Pid.Set.cardinal m.copies >= t.majority then begin
+      match m.body with
+      | None -> ()
+      | Some body ->
+        m.delivered <- true;
+        st.delivered_count <- st.delivered_count + 1;
+        let origin, _ = key in
+        List.iter (fun f -> f ~origin body) (List.rev st.rev_subscribers)
+    end
+  in
+  let on_message p ~src payload =
+    match payload with
+    | Urb { origin; seq; tag; body } ->
+      let st = t.states.(p) in
+      let key = (origin, seq) in
+      let m = message_state st key in
+      m.body <- Some body;
+      m.copies <- Sim.Pid.Set.add src m.copies;
+      if not m.relayed then begin
+        (* First contact: echo to everybody (self included, so our own copy
+           counts through the same path). *)
+        m.relayed <- true;
+        Sim.Engine.send_to_all engine ~component ~tag ~src:p (Urb { origin; seq; tag; body })
+      end;
+      try_deliver p key
+    | _ -> ()
+  in
+  List.iter (fun p -> Sim.Engine.register engine ~component p (on_message p)) (Sim.Pid.all ~n);
+  t
+
+let subscribe t p f = t.states.(p).rev_subscribers <- f :: t.states.(p).rev_subscribers
+
+let ubroadcast t ~src ~tag body =
+  let st = t.states.(src) in
+  let seq = st.next_seq in
+  st.next_seq <- seq + 1;
+  Sim.Engine.send t.engine ~component:t.component ~tag ~src ~dst:src
+    (Urb { origin = src; seq; tag; body })
+
+let delivered_count t p = t.states.(p).delivered_count

@@ -1,0 +1,33 @@
+(** Uniform Reliable Broadcast (URB).
+
+    {!Reliable_broadcast}'s agreement clause only constrains {i correct}
+    processes: a process may deliver a message and then crash before anyone
+    else can.  URB strengthens it to {b uniform agreement} — if {i any}
+    process (correct or not) U-delivers m, then every correct process
+    U-delivers m — which is what the paper's Uniform Consensus needs from
+    its decision dissemination, and whose weakest failure detector is
+    studied by Aguilera, Toueg and Deianov [4] (cited in Section 1.1).
+
+    Implementation: the majority-ack algorithm.  A message is relayed like
+    in reliable broadcast, but a process U-delivers only once it has seen
+    copies (its own included) from a {b majority} of processes: any two
+    majorities intersect in a correct process (given f < n/2), so a
+    delivery by anybody — even a process that crashes right after — implies
+    enough live copies to reach everyone.
+
+    Requires f < n/2.  Cost: every process relays every message once, so
+    n(n-1) sends per broadcast (same order as the relay reliable
+    broadcast), but delivery waits for ⌈(n+1)/2⌉ copies. *)
+
+type t
+
+val default_component : string
+
+val create : ?component:string -> Sim.Engine.t -> t
+
+val subscribe : t -> Sim.Pid.t -> (origin:Sim.Pid.t -> Sim.Payload.t -> unit) -> unit
+(** U-deliver callback. *)
+
+val ubroadcast : t -> src:Sim.Pid.t -> tag:string -> Sim.Payload.t -> unit
+
+val delivered_count : t -> Sim.Pid.t -> int

@@ -1,0 +1,95 @@
+type outcome =
+  | Commit
+  | Abort
+
+let pp_outcome ppf = function
+  | Commit -> Format.pp_print_string ppf "commit"
+  | Abort -> Format.pp_print_string ppf "abort"
+
+type vote =
+  | Yes
+  | No
+
+let default_component = "nbac"
+
+type Sim.Payload.t += Vote_msg of vote
+
+(* Consensus carries ints: 1 = commit, 0 = abort. *)
+let value_of_outcome = function Commit -> 1 | Abort -> 0
+let outcome_of_value v = if v = value_of_outcome Commit then Commit else Abort
+
+type process_state = {
+  mutable my_vote : vote option;
+  votes : (Sim.Pid.t, vote) Hashtbl.t;
+  mutable proposed : bool;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  n : int;
+  component : string;
+  fd : Fd.Fd_handle.t;
+  consensus : Instance.t;
+  states : process_state array;
+}
+
+(* Propose once we voted and, for every process, either have its vote or
+   suspect it (the P-style wait: with an accurate detector an Abort then
+   certifies a No vote or a genuine crash). *)
+let maybe_propose t p =
+  let st = t.states.(p) in
+  if (not st.proposed) && st.my_vote <> None then begin
+    let suspected = Fd.Fd_handle.suspected t.fd p in
+    let resolved q = Hashtbl.mem st.votes q || Sim.Pid.Set.mem q suspected in
+    if List.for_all resolved (Sim.Pid.all ~n:t.n) then begin
+      st.proposed <- true;
+      let all_yes =
+        Hashtbl.length st.votes = t.n
+        && Hashtbl.fold (fun _ v acc -> acc && v = Yes) st.votes true
+      in
+      t.consensus.Instance.propose p
+        (value_of_outcome (if all_yes then Commit else Abort))
+    end
+  end
+
+let create ?(component = default_component) engine ~fd ~consensus () =
+  let n = Sim.Engine.n engine in
+  let t =
+    {
+      engine;
+      n;
+      component;
+      fd;
+      consensus;
+      states =
+        Array.init n (fun _ -> { my_vote = None; votes = Hashtbl.create 8; proposed = false });
+    }
+  in
+  let on_message p ~src payload =
+    match payload with
+    | Vote_msg v ->
+      Hashtbl.replace t.states.(p).votes src v;
+      maybe_propose t p
+    | _ -> ()
+  in
+  List.iter (fun p -> Sim.Engine.register engine ~component p (on_message p)) (Sim.Pid.all ~n);
+  Fd.Fd_handle.subscribe fd (fun p _ ->
+      if Sim.Engine.is_alive engine p then maybe_propose t p);
+  t
+
+let vote t p v =
+  let st = t.states.(p) in
+  if st.my_vote <> None then invalid_arg "Atomic_commit.vote: already voted";
+  st.my_vote <- Some v;
+  (* The vote reaches everybody, ourselves included (self-send). *)
+  Sim.Engine.send_to_all t.engine ~component:t.component ~tag:"vote" ~src:p (Vote_msg v)
+
+let outcome t p =
+  Option.map
+    (fun d -> outcome_of_value d.Instance.value)
+    (t.consensus.Instance.decision p)
+
+let decided_all_correct t =
+  List.for_all
+    (fun p -> (not (Sim.Engine.is_alive t.engine p)) || outcome t p <> None)
+    (Sim.Pid.all ~n:t.n)

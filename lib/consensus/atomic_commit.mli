@@ -1,0 +1,58 @@
+(** Non-Blocking Atomic Commitment (NBAC) from consensus and a failure
+    detector — the application behind Guerraoui's study of the relationship
+    between NBAC and consensus [10], which the paper leans on in Section
+    5.1 (any ◇S-based consensus is automatically {i uniform}).
+
+    Every participant votes Yes or No on a transaction.  Required:
+
+    - {b uniform agreement}: no two participants decide differently;
+    - {b validity / abort-validity}: Commit is only decided if everybody
+      voted Yes; Abort is only decided if some process voted No {b or}
+      some process was suspected of crashing;
+    - {b termination}: every correct participant decides.
+
+    The classic reduction: each participant broadcasts its vote, waits
+    until it has a vote from every process it does not suspect, proposes
+    Commit if it saw n Yes votes and Abort otherwise, and runs consensus on
+    the proposals.  With a {i perfect} detector (P) the outcome is exact:
+    an Abort implies a No vote or a real crash.  With the ◇P output of the
+    paper's Fig. 2 transformation, premature suspicions can cause
+    gratuitous (but always agreed-upon) Aborts — NBAC's non-triviality is
+    exactly where P separates from ◇P, and the test suite demonstrates
+    both sides.
+
+    The consensus instance is injected, so NBAC runs on the paper's ◇C
+    algorithm (our default) or on either baseline. *)
+
+type outcome =
+  | Commit
+  | Abort
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+type vote =
+  | Yes
+  | No
+
+type t
+
+val default_component : string
+
+val create :
+  ?component:string ->
+  Sim.Engine.t ->
+  fd:Fd.Fd_handle.t ->
+  consensus:Instance.t ->
+  unit ->
+  t
+(** [fd] is the detector used to stop waiting for votes (a P oracle for
+    exact NBAC; any ◇P for the eventually-accurate variant).  [consensus]
+    must be a fresh instance dedicated to this commit. *)
+
+val vote : t -> Sim.Pid.t -> vote -> unit
+(** Cast the participant's vote (exactly once). *)
+
+val outcome : t -> Sim.Pid.t -> outcome option
+
+val decided_all_correct : t -> bool
+(** Every live participant has an outcome. *)

@@ -1,0 +1,169 @@
+let component = "consensus.hr"
+
+(* Votes carry Value.null as ⊥. *)
+type Sim.Payload.t +=
+  | Current of { round : int; est : Value.t }
+  | Vote of { round : int; aux : Value.t }
+  | Decide of { round : int; est : Value.t }
+
+type phase =
+  | Idle
+  | Wait_current  (** Step 1: coordinator value or suspicion. *)
+  | Wait_votes  (** Step 2: quorum of votes. *)
+  | Advancing  (** Between rounds (next entry runs one engine event later). *)
+  | Halted
+
+type round_buffers = {
+  mutable current : Value.t option;  (** The coordinator's value, if seen. *)
+  mutable votes : Value.t list;  (** Reverse arrival order. *)
+}
+
+type pstate = {
+  mutable round : int;
+  mutable est : Value.t;
+  mutable phase : phase;
+  mutable decided : Instance.decision option;
+  buffers : (int, round_buffers) Hashtbl.t;
+}
+
+let install ?(component = component) ?f ?(max_rounds = 100_000) engine ~fd ~rb () =
+  let n = Sim.Engine.n engine in
+  let f = match f with Some f -> f | None -> (n - 1) / 2 in
+  if f < 0 || 2 * f >= n then invalid_arg "Hr_consensus.install: need 0 <= f < n/2";
+  let quorum = n - f in
+  let states =
+    Array.init n (fun _ ->
+        { round = -1; est = Value.null; phase = Idle; decided = None; buffers = Hashtbl.create 16 })
+  in
+  let coordinator r = r mod n in
+  let buffers_of st r =
+    match Hashtbl.find_opt st.buffers r with
+    | Some b -> b
+    | None ->
+      let b = { current = None; votes = [] } in
+      Hashtbl.add st.buffers r b;
+      b
+  in
+  let first_quorum rev_votes =
+    let arrived = List.rev rev_votes in
+    List.filteri (fun i _ -> i < quorum) arrived
+  in
+  let decide p ~round ~value =
+    let st = states.(p) in
+    if st.decided = None && st.phase <> Halted then begin
+      let d = { Instance.value; round = round + 1; at = Sim.Engine.now engine } in
+      st.decided <- Some d;
+      st.phase <- Halted;
+      Sim.Trace.record (Sim.Engine.trace engine)
+        (Sim.Trace.Decide { at = Sim.Engine.now engine; pid = p; value; round = round + 1 })
+    end
+  in
+  let rec advance_round p r =
+    (* Deferred by one engine event; see Ec_consensus.advance_round. *)
+    let st = states.(p) in
+    st.phase <- Advancing;
+    ignore
+      (Sim.Engine.set_timer engine p ~delay:0 (fun () ->
+           if states.(p).phase = Advancing then enter_round p r)
+        : Sim.Engine.timer)
+  and enter_round p r =
+    let st = states.(p) in
+    if r >= max_rounds then st.phase <- Halted
+    else begin
+      st.round <- r;
+      st.phase <- Wait_current;
+      if Sim.Pid.equal (coordinator r) p then begin
+        (* Step 1: the coordinator announces its estimate (everybody,
+           itself included via the local copy). *)
+        (buffers_of st r).current <- Some st.est;
+        Sim.Engine.send_to_all_others engine ~component
+          ~tag:(Printf.sprintf "current.r%d" (r + 1))
+          ~src:p
+          (Current { round = r; est = st.est })
+      end;
+      step p
+    end
+  and cast_vote p aux =
+    let st = states.(p) in
+    let b = buffers_of st st.round in
+    st.phase <- Wait_votes;
+    b.votes <- aux :: b.votes;
+    Sim.Engine.send_to_all_others engine ~component
+      ~tag:(Printf.sprintf "vote.r%d" (st.round + 1))
+      ~src:p
+      (Vote { round = st.round; aux });
+    step p
+  and step p =
+    let st = states.(p) in
+    match st.phase with
+    | Idle | Halted | Advancing -> ()
+    | Wait_current -> begin
+      let b = buffers_of st st.round in
+      match b.current with
+      | Some v -> cast_vote p v
+      | None ->
+        if Sim.Pid.Set.mem (coordinator st.round) (Fd.Fd_handle.suspected fd p) then
+          cast_vote p Value.null
+    end
+    | Wait_votes ->
+      let b = buffers_of st st.round in
+      if List.length b.votes >= quorum then begin
+        let votes = first_quorum b.votes in
+        let non_null = List.filter (fun v -> not (Value.is_null v)) votes in
+        begin
+          match non_null with
+          | [] -> ()
+          | v :: _ ->
+            (* Only the coordinator's value circulates in a round, so all
+               non-⊥ votes agree; adopt, and decide on an all-v quorum. *)
+            st.est <- v;
+            if List.length non_null = quorum then
+              Broadcast.Reliable_broadcast.rbroadcast rb ~src:p ~tag:"decide"
+                (Decide { round = st.round; est = v })
+        end;
+        advance_round p (st.round + 1)
+      end
+  in
+  let on_message p ~src:_ payload =
+    let st = states.(p) in
+    match payload with
+    | Current { round; est } ->
+      let b = buffers_of st round in
+      if b.current = None then b.current <- Some est;
+      if st.phase = Wait_current && round = st.round then step p
+    | Vote { round; aux } ->
+      let b = buffers_of st round in
+      b.votes <- aux :: b.votes;
+      if st.phase = Wait_votes && round = st.round then step p
+    | _ -> ()
+  in
+  List.iter
+    (fun p ->
+      Sim.Engine.register engine ~component p (on_message p);
+      Broadcast.Reliable_broadcast.subscribe rb p (fun ~origin:_ payload ->
+          match payload with
+          | Decide { round; est } -> decide p ~round ~value:est
+          | _ -> ()))
+    (Sim.Pid.all ~n);
+  Fd.Fd_handle.subscribe fd (fun p _view ->
+      if Sim.Engine.is_alive engine p && states.(p).phase = Wait_current then step p);
+  let proposed = Array.make n false in
+  let propose p v =
+    if not (Value.valid_proposal v) then invalid_arg "Hr_consensus.propose: invalid value";
+    if proposed.(p) then invalid_arg "Hr_consensus.propose: already proposed";
+    proposed.(p) <- true;
+    Sim.Trace.record (Sim.Engine.trace engine)
+      (Sim.Trace.Propose { at = Sim.Engine.now engine; pid = p; value = v });
+    let st = states.(p) in
+    if st.phase = Idle then begin
+      st.est <- v;
+      enter_round p 0
+    end
+  in
+  {
+    Instance.name = "hr-consensus";
+    phases_per_round = 2;
+    propose;
+    decision = (fun p -> states.(p).decided);
+    current_round = (fun p -> states.(p).round + 1);
+  }

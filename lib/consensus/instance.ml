@@ -1,0 +1,21 @@
+type decision = {
+  value : Value.t;
+  round : int;
+  at : Sim.Sim_time.t;
+}
+
+type t = {
+  name : string;
+  phases_per_round : int;
+  propose : Sim.Pid.t -> Value.t -> unit;
+  decision : Sim.Pid.t -> decision option;
+  current_round : Sim.Pid.t -> int;
+}
+
+let decided_value t p = Option.map (fun d -> d.value) (t.decision p)
+
+let max_round t ~n =
+  List.fold_left (fun acc p -> Stdlib.max acc (t.current_round p)) 0 (Sim.Pid.all ~n)
+
+let decision_rounds t ~n =
+  List.filter_map (fun p -> Option.map (fun d -> d.round) (t.decision p)) (Sim.Pid.all ~n)

@@ -1,0 +1,31 @@
+(** The face of an installed consensus protocol instance.
+
+    Every protocol ({!Ct_consensus}, {!Mr_consensus}, {!Ecfd.Ec_consensus})
+    installs one module per process and returns this record.  Proposals and
+    decisions are also recorded in the engine trace ([Propose] / [Decide]
+    events), which is what {!Spec.Consensus_props} checks. *)
+
+type decision = {
+  value : Value.t;
+  round : int;  (** Round in which the decided value was locked. *)
+  at : Sim.Sim_time.t;
+}
+
+type t = {
+  name : string;
+  phases_per_round : int;
+      (** The protocol's static communication-phase count, as the paper
+          counts it in Section 5.4 (◇C: 5, Chandra–Toueg: 4, MR: 3). *)
+  propose : Sim.Pid.t -> Value.t -> unit;
+  decision : Sim.Pid.t -> decision option;
+  current_round : Sim.Pid.t -> int;
+      (** Highest round the process has entered (1-based); for metrics. *)
+}
+
+val decided_value : t -> Sim.Pid.t -> Value.t option
+
+val max_round : t -> n:int -> int
+(** Highest round entered by any process. *)
+
+val decision_rounds : t -> n:int -> int list
+(** The decision round of every process that decided. *)

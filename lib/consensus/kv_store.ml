@@ -1,0 +1,93 @@
+type command =
+  | Set of { key : int; value : int }
+  | Delete of { key : int }
+  | Add of { key : int; delta : int }
+
+let pp_command ppf = function
+  | Set { key; value } -> Format.fprintf ppf "set k%d=%d" key value
+  | Delete { key } -> Format.fprintf ppf "del k%d" key
+  | Add { key; delta } -> Format.fprintf ppf "add k%d%+d" key delta
+
+(* Packing: tag * 2^30 + key * 2^20 + argument (20 bits).  [Add] deltas are
+   offset by 2^19 so they stay non-negative in the packed form. *)
+let key_space = 1 lsl 10
+let arg_space = 1 lsl 20
+let delta_offset = 1 lsl 19
+
+let encode = function
+  | Set { key; value } ->
+    if key < 0 || key >= key_space then invalid_arg "Kv_store.encode: key out of range";
+    if value < 0 || value >= arg_space then invalid_arg "Kv_store.encode: value out of range";
+    (key * arg_space) + value
+  | Delete { key } ->
+    if key < 0 || key >= key_space then invalid_arg "Kv_store.encode: key out of range";
+    (1 * key_space * arg_space) + (key * arg_space)
+  | Add { key; delta } ->
+    if key < 0 || key >= key_space then invalid_arg "Kv_store.encode: key out of range";
+    if delta <= -delta_offset || delta >= delta_offset then
+      invalid_arg "Kv_store.encode: delta out of range";
+    (2 * key_space * arg_space) + (key * arg_space) + (delta + delta_offset)
+
+let decode body =
+  if body < 0 then None
+  else begin
+    let tag = body / (key_space * arg_space) in
+    let key = body / arg_space mod key_space in
+    let arg = body mod arg_space in
+    match tag with
+    | 0 -> Some (Set { key; value = arg })
+    | 1 when arg = 0 -> Some (Delete { key })
+    | 2 -> Some (Add { key; delta = arg - delta_offset })
+    | _ -> None
+  end
+
+module Int_map = Map.Make (Int)
+
+type replica = {
+  mutable map : int Int_map.t;
+  mutable applied : int;
+  mutable rev_log : command list;
+}
+
+type t = {
+  order : Total_order.t;
+  replicas : replica array;
+}
+
+let apply replica command =
+  replica.applied <- replica.applied + 1;
+  replica.rev_log <- command :: replica.rev_log;
+  match command with
+  | Set { key; value } -> replica.map <- Int_map.add key value replica.map
+  | Delete { key } -> replica.map <- Int_map.remove key replica.map
+  | Add { key; delta } ->
+    let current = Option.value ~default:0 (Int_map.find_opt key replica.map) in
+    replica.map <- Int_map.add key (current + delta) replica.map
+
+let create ?(component = "kv") ?max_slots engine ~make_instance () =
+  let n = Sim.Engine.n engine in
+  let order = Total_order.create ~component:(component ^ ".order") ?max_slots engine ~make_instance () in
+  let t =
+    {
+      order;
+      replicas = Array.init n (fun _ -> { map = Int_map.empty; applied = 0; rev_log = [] });
+    }
+  in
+  List.iter
+    (fun p ->
+      Total_order.subscribe order p (fun m ->
+          match decode m.Total_order.body with
+          | Some command -> apply t.replicas.(p) command
+          | None -> ()))
+    (Sim.Pid.all ~n);
+  t
+
+let submit t ~src command = Total_order.broadcast t.order ~src ~body:(encode command)
+
+let get t p ~key = Int_map.find_opt key t.replicas.(p).map
+
+let entries t p = Int_map.bindings t.replicas.(p).map
+
+let applied t p = t.replicas.(p).applied
+
+let log t p = List.rev t.replicas.(p).rev_log

@@ -1,0 +1,52 @@
+(** A replicated key-value store — state-machine replication over
+    {!Total_order}, i.e. over repeated ◇C consensus.
+
+    Every replica holds a full copy of the map and applies the totally
+    ordered command stream; because all replicas apply the same commands in
+    the same order, their states never diverge, even for read-modify-write
+    commands ([Add]) submitted concurrently at different replicas — the
+    scenario that breaks eventual-consistency systems and that total order
+    exists to solve.
+
+    Commands are packed into {!Total_order}'s integer message bodies:
+    keys in [0, 1024), values in [0, 2^20), deltas in (-2^19, 2^19). *)
+
+type command =
+  | Set of { key : int; value : int }
+  | Delete of { key : int }
+  | Add of { key : int; delta : int }
+      (** Read-modify-write: value := (current or 0) + delta. *)
+
+val pp_command : Format.formatter -> command -> unit
+
+val encode : command -> int
+(** Raises [Invalid_argument] outside the documented ranges. *)
+
+val decode : int -> command option
+
+type t
+
+val create :
+  ?component:string ->
+  ?max_slots:int ->
+  Sim.Engine.t ->
+  make_instance:(slot:int -> Instance.t) ->
+  unit ->
+  t
+(** Same contract as {!Total_order.create} (one fresh consensus instance
+    per slot). *)
+
+val submit : t -> src:Sim.Pid.t -> command -> unit
+(** Submit a command at a replica; it is applied everywhere once ordered. *)
+
+val get : t -> Sim.Pid.t -> key:int -> int option
+(** Replica-local read of the applied state. *)
+
+val entries : t -> Sim.Pid.t -> (int * int) list
+(** The replica's full map, sorted by key. *)
+
+val applied : t -> Sim.Pid.t -> int
+(** Number of commands the replica has applied. *)
+
+val log : t -> Sim.Pid.t -> command list
+(** The replica's applied command sequence (for auditing/tests). *)

@@ -1,0 +1,39 @@
+(** Leader-based (Ω) consensus in the style of Mostefaoui–Raynal [20].
+
+    The second baseline of Section 5.4.  [20] is summarised but not
+    reproduced verbatim in the ◇C paper; this module implements a documented
+    adaptation (DESIGN.md §4) with exactly the properties the paper
+    attributes to it:
+
+    - {b no rotating coordinator}: the Ω leader supplies the round's value,
+      so consensus completes one round after the detector stabilises;
+    - {b three communication phases per round, each beginning with a
+      broadcast} (Θ(n²) messages per round): EST (everybody broadcasts its
+      estimate; each process picks its leader's), PH1 (first quorum vote),
+      PH2 (second quorum vote / decision);
+    - {b quorum waits of n-f messages} that cannot be extended by suspicion
+      information (Ω names one process only): a single "negative" (⊥) vote
+      among the first n-f of Phase 2 blocks the round's decision — the
+      blocking behaviour the ◇C algorithm removes (experiment E6).
+
+    Safety comes from standard quorum intersection: at most one non-⊥ value
+    can survive Phase 1 of a round, deciding requires an all-equal first
+    quorum in Phase 2, and any process completing that round then carries
+    the decided value.  A process jumps forward upon meeting messages of a
+    higher round, which is also what lets a late-elected leader catch up.
+
+    Requires f < n/2 (default f = ⌈n/2⌉-1, i.e. waits are majorities). *)
+
+val component : string
+
+val install :
+  ?component:string ->
+  ?f:int ->
+  Sim.Engine.t ->
+  fd:Fd.Fd_handle.t ->
+  rb:Broadcast.Reliable_broadcast.t ->
+  unit ->
+  Instance.t
+(** [fd] must provide a trusted process (Ω); its suspected sets are ignored.
+    [f] is the assumed fault bound (quorums have n-f processes); it must
+    satisfy [0 <= f < n/2]. *)

@@ -1,0 +1,62 @@
+(** Total-order (atomic) broadcast built from repeated consensus.
+
+    The canonical application of the paper's algorithm: Chandra–Toueg [6]
+    showed atomic broadcast and consensus are equivalent, and state-machine
+    replication is the workload the consensus literature motivates.  The
+    classic reduction, specialised to our setting:
+
+    - a TO-broadcast message is first disseminated with reliable broadcast;
+    - slot k of the global sequence is fixed by consensus instance k: every
+      process proposes its oldest undelivered message and adopts whatever
+      instance k decides;
+    - decisions are TO-delivered in slot order (held back until the
+      message's payload has been R-delivered locally), with duplicates
+      skipped (a message can win a slot while also staying pending at a
+      process that proposed it elsewhere).
+
+    Properties (checked in the test suite): all correct processes deliver
+    the same sequence of messages (total order + agreement), every message
+    TO-broadcast by a correct process is eventually delivered (validity,
+    given live consensus instances), and no message is delivered twice
+    (integrity).
+
+    The module is parameterised by a consensus factory, so it runs over the
+    paper's ◇C algorithm as well as over the baselines.  Consensus
+    instances are pre-installed ([max_slots] of them — simulation runs are
+    finite); the sequencer polls for decisions every [poll_period] ticks. *)
+
+type message = {
+  origin : Sim.Pid.t;
+  seq : int;  (** Per-origin sequence number, 0-based. *)
+  body : int;
+}
+
+val pp_message : Format.formatter -> message -> unit
+
+type t
+
+val default_component : string
+
+val create :
+  ?component:string ->
+  ?max_slots:int ->
+  ?poll_period:int ->
+  Sim.Engine.t ->
+  make_instance:(slot:int -> Instance.t) ->
+  unit ->
+  t
+(** [make_instance ~slot] must install a fresh consensus instance (with its
+    own component namespace — use [slot] in the names).  [max_slots]
+    defaults to 64, [poll_period] to 2 ticks. *)
+
+val broadcast : t -> src:Sim.Pid.t -> body:int -> unit
+(** TO-broadcast a message ([body >= 0]).  No-op if [src] has crashed. *)
+
+val subscribe : t -> Sim.Pid.t -> (message -> unit) -> unit
+(** Called on each TO-delivery at the process, in delivery order. *)
+
+val delivered : t -> Sim.Pid.t -> message list
+(** The process's delivery sequence so far, oldest first. *)
+
+val slots_used : t -> Sim.Pid.t -> int
+(** How many slots the process has consumed (delivered or skipped). *)

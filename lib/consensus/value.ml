@@ -1,0 +1,7 @@
+type t = int
+
+let null = -1
+let is_null v = v = null
+let valid_proposal v = v >= 0
+let equal = Int.equal
+let pp ppf v = if is_null v then Format.pp_print_string ppf "<null>" else Format.pp_print_int ppf v

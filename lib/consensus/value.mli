@@ -1,0 +1,16 @@
+(** Consensus proposal values.
+
+    The algorithms never inspect values (they only move them around and
+    compare adoption timestamps), so plain integers lose no generality.
+    [null] encodes the distinguished "no value" of null estimates / null
+    propositions (Figs. 3–4); it is never a legal proposal. *)
+
+type t = int
+
+val null : t
+(** The distinguished non-value (-1). *)
+
+val is_null : t -> bool
+val valid_proposal : t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

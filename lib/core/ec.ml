@@ -1,0 +1,61 @@
+let component_of_omega = "ec.of-omega"
+let component_of_perfect = "ec.of-perfect"
+let component_of_ring = "ec.of-ring"
+let component_of_leader_s = "ec.of-leader-s"
+
+(* All constructions share one skeleton: a derived handle whose view at
+   process p is a pure function of the underlying view at p, re-computed on
+   every change of the underlying detector.  No messages are exchanged. *)
+let derive underlying ~engine ~component f =
+  let n = Sim.Engine.n engine in
+  let handle = Fd.Fd_handle.make engine ~component in
+  let refresh p = Fd.Fd_handle.set handle p (f p (Fd.Fd_handle.query underlying p)) in
+  List.iter refresh (Sim.Pid.all ~n);
+  Fd.Fd_handle.subscribe underlying (fun p _ -> refresh p);
+  handle
+
+let of_omega underlying ~engine =
+  let n = Sim.Engine.n engine in
+  let everybody = Sim.Pid.set_of_list (Sim.Pid.all ~n) in
+  let view p (u : Fd.Fd_view.t) =
+    match u.Fd.Fd_view.trusted with
+    | None -> Fd.Fd_view.empty
+    | Some leader ->
+      let suspected = Sim.Pid.Set.remove leader (Sim.Pid.Set.remove p everybody) in
+      Fd.Fd_view.make ~trusted:leader ~suspected ()
+  in
+  derive underlying ~engine ~component:component_of_omega view
+
+(* First process, in the walk [start, start+1, ...] around the ring, not in
+   [suspected].  With [start = 0] this is the paper's "first process in the
+   total order". *)
+let first_not_suspected ~n ~start suspected =
+  let rec walk i remaining =
+    if remaining = 0 then None
+    else if not (Sim.Pid.Set.mem i suspected) then Some i
+    else walk ((i + 1) mod n) (remaining - 1)
+  in
+  walk start n
+
+let of_first ~start ~component underlying ~engine =
+  let n = Sim.Engine.n engine in
+  let view _p (u : Fd.Fd_view.t) =
+    let suspected = u.Fd.Fd_view.suspected in
+    match first_not_suspected ~n ~start suspected with
+    | None -> Fd.Fd_view.make ~suspected ()  (* everything suspected: no leader *)
+    | Some leader -> Fd.Fd_view.make ~trusted:leader ~suspected ()
+  in
+  derive underlying ~engine ~component view
+
+let of_perfect underlying ~engine = of_first ~start:0 ~component:component_of_perfect underlying ~engine
+
+let of_ring ?(initial_candidate = 0) underlying ~engine =
+  of_first ~start:initial_candidate ~component:component_of_ring underlying ~engine
+
+let of_leader_s underlying ~engine =
+  derive underlying ~engine ~component:component_of_leader_s (fun _p u -> u)
+
+let conforms ~n p (v : Fd.Fd_view.t) =
+  match v.Fd.Fd_view.trusted with
+  | None -> false
+  | Some leader -> Sim.Pid.is_valid ~n leader && not (Sim.Pid.Set.mem p v.Fd.Fd_view.suspected)

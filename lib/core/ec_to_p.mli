@@ -1,0 +1,80 @@
+(** Transformation of a ◇C detector into a ◇P detector under partial
+    synchrony — Section 4 and Fig. 2 of the paper (Theorem 1).
+
+    The idea: let the eventually-agreed leader build one authoritative list
+    of suspects and push it to everybody.  Five concurrent tasks:
+
+    + {b Task 1} (leader): periodically send the local suspect list to all
+      other processes;
+    + {b Task 2} (all): periodically send I-AM-ALIVE to one's trusted
+      process;
+    + {b Task 3} (leader): suspect any process whose I-AM-ALIVE is overdue
+      (per-process adaptive time-out);
+    + {b Task 4} (leader): on I-AM-ALIVE from a suspected process, rescind
+      the suspicion and increase that process's time-out;
+    + {b Task 5} (all): on receiving a list from one's trusted process,
+      adopt it wholesale.
+
+    Link assumptions (matched by {!links} below): the n-1 {i input} links of
+    the leader are reliable and partially synchronous; its n-1 {i output}
+    links are fair-lossy; nothing is assumed of the rest — eventually only
+    these 2(n-1) links carry messages.
+
+    The transformation only queries the underlying detector for its
+    {i trusted} process, so it equally transforms a bare Ω into ◇P (the
+    paper notes this; tests exercise it).
+
+    Cost: 2(n-1) messages per period.  {!install_piggybacked} rides Task 1
+    on the heartbeats the underlying {!Fd.Leader_s} detector already sends,
+    leaving only the n-1 I-AM-ALIVE messages — Section 4's "extremely
+    efficient" ◇P at 2(n-1) total including the detector itself, versus n²
+    for Chandra–Toueg's ◇P and 2n for the ring ◇P of [15] (experiment E2).
+
+    A subtlety the proof of Theorem 1 leans on: a process that considers
+    itself leader adopts {i its own} list and never suspects itself. *)
+
+type growth =
+  | Additive of int  (** timeout += k on each mistake (Fig. 2's policy). *)
+  | Doubling  (** timeout *= 2 (ablation; see DESIGN.md §5.4). *)
+
+type params = {
+  list_period : int;  (** Task 1. *)
+  alive_period : int;  (** Task 2 (the proof's Φ). *)
+  initial_timeout : int;  (** Task 3. *)
+  growth : growth;  (** Task 4. *)
+}
+
+val default_params : params
+
+val component : string
+
+val install :
+  ?component:string -> Sim.Engine.t -> underlying:Fd.Fd_handle.t -> params -> Fd.Fd_handle.t
+(** The stand-alone transformation (own Task-1 messages): 2(n-1) messages
+    per period.  The returned handle is the ◇P detector: suspected lists
+    only, [trusted = None]. *)
+
+val install_piggybacked :
+  ?component:string ->
+  Sim.Engine.t ->
+  hooks:Fd.Leader_s.hooks ->
+  underlying:Fd.Fd_handle.t ->
+  params ->
+  Fd.Fd_handle.t
+(** Same, but Task 1 rides the underlying leader detector's heartbeats via
+    its piggyback [hooks] (pass the same hooks given to
+    {!Fd.Leader_s.install}); [list_period] is then ignored.  Only the n-1
+    I-AM-ALIVE messages are paid by the transformation. *)
+
+val links :
+  ?seed_delay:int ->
+  n:int ->
+  leader:Sim.Pid.t ->
+  gst:Sim.Sim_time.t ->
+  delta:int ->
+  drop_probability:float ->
+  unit ->
+  Sim.Link.t
+(** The weakest link fabric Theorem 1 needs, for tests: partially
+    synchronous into [leader], fair-lossy (over a reliable base) out of it,
+    reliable elsewhere. *)

@@ -1,0 +1,40 @@
+type t = {
+  engine : Sim.Engine.t;
+  component : string;
+  views : Fd_view.t array;
+  changes : (Sim.Pid.t * Fd_view.t) Sim.Signal.t;
+}
+
+let record t p =
+  let v = t.views.(p) in
+  Sim.Engine.record_fd_view t.engine ~component:t.component p ~suspected:v.Fd_view.suspected
+    ~trusted:v.Fd_view.trusted
+
+let make engine ~component =
+  let t =
+    {
+      engine;
+      component;
+      views = Array.make (Sim.Engine.n engine) Fd_view.empty;
+      changes = Sim.Signal.create ();
+    }
+  in
+  List.iter (fun p -> record t p) (Sim.Pid.all ~n:(Sim.Engine.n engine));
+  t
+
+let component t = t.component
+
+let query t p = t.views.(p)
+let suspected t p = (query t p).Fd_view.suspected
+let trusted t p = (query t p).Fd_view.trusted
+
+let subscribe t f = Sim.Signal.subscribe t.changes (fun (p, v) -> f p v)
+
+let set t p v =
+  if not (Fd_view.equal t.views.(p) v) then begin
+    t.views.(p) <- v;
+    record t p;
+    Sim.Signal.emit t.changes (p, v)
+  end
+
+let update t p f = set t p (f t.views.(p))

@@ -1,0 +1,20 @@
+type t = {
+  suspected : Sim.Pid.Set.t;
+  trusted : Sim.Pid.t option;
+}
+
+let empty = { suspected = Sim.Pid.Set.empty; trusted = None }
+
+let make ?trusted ~suspected () = { suspected; trusted }
+
+let suspects t q = Sim.Pid.Set.mem q t.suspected
+
+let equal a b =
+  Sim.Pid.Set.equal a.suspected b.suspected && Option.equal Sim.Pid.equal a.trusted b.trusted
+
+let pp ppf t =
+  let pp_trusted ppf = function
+    | None -> Format.fprintf ppf "-"
+    | Some q -> Sim.Pid.pp ppf q
+  in
+  Format.fprintf ppf "suspected=%a trusted=%a" Sim.Pid.pp_set t.suspected pp_trusted t.trusted

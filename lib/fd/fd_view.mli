@@ -1,0 +1,21 @@
+(** Failure detector outputs.
+
+    The paper's detectors answer two kinds of queries (Section 2.1): a set
+    of {i suspected} processes ([D.suspected_p], the classical Chandra–Toueg
+    interface) and a {i trusted} process ([D.trusted_p], the Ω interface).
+    A view bundles both; detectors that do not provide a leader leave
+    [trusted = None]. *)
+
+type t = {
+  suspected : Sim.Pid.Set.t;
+  trusted : Sim.Pid.t option;
+}
+
+val empty : t
+(** Nothing suspected, nobody trusted. *)
+
+val make : ?trusted:Sim.Pid.t -> suspected:Sim.Pid.Set.t -> unit -> t
+
+val suspects : t -> Sim.Pid.t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

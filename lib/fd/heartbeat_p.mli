@@ -1,0 +1,28 @@
+(** All-to-all heartbeat implementation of ◇P, after Chandra–Toueg [6].
+
+    Every process periodically sends I-AM-ALIVE to every other process and
+    maintains one adaptive time-out per peer: a peer that stays silent past
+    its time-out is suspected; receiving a heartbeat from a suspected peer
+    rescinds the suspicion and increases that peer's time-out.  Under
+    partial synchrony, time-outs eventually exceed [period + delta] and no
+    correct process is ever suspected again (eventual strong accuracy),
+    while crashed processes stop sending and are permanently suspected
+    (strong completeness).
+
+    Cost: n(n-1) messages per period — the quadratic figure the paper's
+    Section 4 compares its transformation against. *)
+
+type params = {
+  period : int;  (** Heartbeat (and time-out check) period. *)
+  initial_timeout : int;
+  timeout_increment : int;  (** Added to a peer's time-out per false suspicion. *)
+}
+
+val default_params : params
+(** period = 10, initial_timeout = 30, increment = 20. *)
+
+val component : string
+
+val install : ?component:string -> Sim.Engine.t -> params -> Fd_handle.t
+(** Attach a module to every process.  The returned handle's views have
+    [trusted = None] (this detector has no leader-election capability). *)

@@ -1,0 +1,46 @@
+(** Leader-based implementation of ◇S (with implicit Ω), after Larrea,
+    Fernández and Arévalo [16] ("Optimal implementation of the weakest
+    failure detector for solving consensus", SRDS 2000).
+
+    Each process p maintains a {i candidate}: the smallest process (in the
+    total order p_1 < ... < p_n) that p has not discarded.  A process that
+    is its own candidate considers itself leader and periodically sends
+    I-AM-THE-LEADER heartbeats to everybody else; the others monitor their
+    candidate with an adaptive time-out and move to the next process when it
+    expires.  Hearing from a smaller process than the current candidate
+    re-adopts it (with a larger time-out).  Under partial synchrony all
+    correct processes converge on the first correct process.
+
+    Exported view (Section 3 of the ◇C paper): [trusted_p] = candidate, and
+    [suspected_p] = all processes except the candidate and p itself — the
+    Ω-style minimal-accuracy suspected set, which satisfies strong
+    completeness and eventual weak accuracy (hence ◇S) and makes this
+    detector a ◇C {i at no extra message cost}.
+
+    Cost: n-1 messages per period once stable (only the leader sends) —
+    the figure used by Section 4's "extremely efficient" ◇P construction. *)
+
+type params = {
+  period : int;
+  initial_timeout : int;
+  timeout_increment : int;
+}
+
+val default_params : params
+
+val component : string
+
+type hooks = {
+  mutable annotate : Sim.Pid.t -> Sim.Payload.t option;
+      (** Called when a leader is about to send a heartbeat; the returned
+          payload rides along at no extra message cost.  This is the
+          piggybacking channel Section 4 uses to halve the cost of the
+          ◇C → ◇P transformation ({!Ecfd.Ec_to_p.install_piggybacked}). *)
+  mutable on_annotation : recipient:Sim.Pid.t -> src:Sim.Pid.t -> Sim.Payload.t -> unit;
+      (** Called at the receiving process for every piggybacked payload. *)
+}
+
+val make_hooks : unit -> hooks
+(** Hooks that do nothing; mutate the fields to tap the channel. *)
+
+val install : ?component:string -> ?hooks:hooks -> Sim.Engine.t -> params -> Fd_handle.t

@@ -1,0 +1,57 @@
+type params = { period : int }
+
+let default_params = { period = 10 }
+
+let component = "fd.omega-from-s"
+
+type Sim.Payload.t += Counters of int array
+
+let install ?(component = component) engine ~underlying params =
+  if params.period <= 0 then invalid_arg "Omega_from_s.install: period must be positive";
+  let n = Sim.Engine.n engine in
+  let handle = Fd_handle.make engine ~component in
+  let counters = Array.init n (fun _ -> Array.make n 0) in
+  let leader p =
+    (* argmin (counter, id): ids break ties, so every process computes the
+       same leader once the merged vectors agree on the frozen entries. *)
+    let best = ref 0 in
+    for q = 1 to n - 1 do
+      if counters.(p).(q) < counters.(p).(!best) then best := q
+    done;
+    !best
+  in
+  let publish p =
+    let suspected = Fd_handle.suspected underlying p in
+    Fd_handle.set handle p (Fd_view.make ~trusted:(leader p) ~suspected ())
+  in
+  let accuse_and_broadcast p () =
+    let mine = counters.(p) in
+    Sim.Pid.Set.iter
+      (fun q -> mine.(q) <- mine.(q) + 1)
+      (Fd_handle.suspected underlying p);
+    Sim.Engine.send_to_all_others engine ~component ~tag:"counters" ~src:p
+      (Counters (Array.copy mine));
+    publish p
+  in
+  let on_message p ~src:_ payload =
+    match payload with
+    | Counters theirs ->
+      let mine = counters.(p) in
+      for q = 0 to n - 1 do
+        if theirs.(q) > mine.(q) then mine.(q) <- theirs.(q)
+      done;
+      publish p
+    | _ -> ()
+  in
+  List.iter
+    (fun p ->
+      Sim.Engine.register engine ~component p (on_message p);
+      publish p;
+      ignore
+        (Sim.Engine.every engine p ~phase:0 ~period:params.period (accuse_and_broadcast p)
+          : unit -> unit))
+    (Sim.Pid.all ~n);
+  (* Track the underlying detector: a suspicion change must surface in this
+     handle's views immediately, not only at the next period. *)
+  Fd_handle.subscribe underlying (fun p _ -> if Sim.Engine.is_alive engine p then publish p);
+  handle

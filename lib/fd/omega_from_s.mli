@@ -1,0 +1,28 @@
+(** Asynchronous reduction of a ◇S (or ◇W after {!Weak_to_strong}) detector
+    to Ω, in the style of Chandra–Hadzilacos–Toueg [5] and Chu [7].
+
+    Every period, every process increments an {i accusation counter} for
+    each process its underlying detector currently suspects, and broadcasts
+    its counter vector; vectors are merged pointwise-max.  The trusted
+    process is the one minimising [(counter, id)].  Crashed processes are
+    permanently suspected (strong completeness) so their counters grow
+    without bound, while the ◇S accuracy property gives at least one correct
+    process whose counter eventually freezes; the minimum therefore
+    converges at every correct process to the same correct process.
+
+    The point the paper makes in Section 3: this works in a {i fully
+    asynchronous} system, but costs n(n-1) messages per period — whereas a
+    leader-based ◇S like [16] yields the ◇C leader for free (experiment E8
+    measures both). *)
+
+type params = { period : int }
+
+val default_params : params
+
+val component : string
+
+val install :
+  ?component:string -> Sim.Engine.t -> underlying:Fd_handle.t -> params -> Fd_handle.t
+(** The returned handle outputs [trusted = Some leader] and copies the
+    underlying detector's suspected set (so stacking it on a ◇S yields a
+    ◇C-grade view; on a bare Ω reading, ignore the suspected part). *)

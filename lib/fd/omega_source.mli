@@ -1,0 +1,37 @@
+(** Ω under weak synchrony: the accusation-counter election of Aguilera,
+    Delporte-Gallet, Fauconnier and Toueg [3] ("On implementing Ω with weak
+    reliability and synchrony assumptions", PODC 2003), cited by the paper
+    in Section 1.1 as a setting where Ω — and hence ◇C's leader half — can
+    be implemented although ◇P cannot.
+
+    Model: it suffices that {b one} correct process (an {i eventual
+    source}) has eventually timely output links; every other link may be
+    arbitrarily slow or fair-lossy forever, so no time-out discipline can
+    ever yield the ◇P accuracy guarantees.
+
+    Algorithm: every process heartbeats to everybody each period, carrying
+    its accusation-counter vector (merged pointwise-max).  A process that
+    times out on q increments counter[q] and restarts q's grace period; a
+    process heard from after being accused earns the accuser a larger
+    time-out.  The trusted process is the argmin of (counter, id): only
+    eventual sources keep bounded counters, so the minimum settles on one
+    of them — leadership converges even though suspicion-style accuracy is
+    impossible (experiment E12 demonstrates both halves).
+
+    Cost: n(n-1) messages per period — the price of the weak assumptions
+    (contrast with {!Leader_s}'s n-1 under full partial synchrony).
+
+    Exported view: [trusted] = argmin; [suspected] = everybody except the
+    leader and oneself (Ω-grade, enough for {!Ecfd.Ec.of_omega}). *)
+
+type params = {
+  period : int;
+  initial_timeout : int;
+  timeout_increment : int;
+}
+
+val default_params : params
+
+val component : string
+
+val install : ?component:string -> Sim.Engine.t -> params -> Fd_handle.t

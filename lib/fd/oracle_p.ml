@@ -1,0 +1,24 @@
+type params = { detection_delay : int }
+
+let default_params = { detection_delay = 1 }
+
+let component = "fd.oracle-p"
+
+let install ?(component = component) engine ~schedule params =
+  if params.detection_delay < 0 then
+    invalid_arg "Oracle_p.install: detection_delay must be non-negative";
+  let n = Sim.Engine.n engine in
+  let handle = Fd_handle.make engine ~component in
+  let reveal victim () =
+    List.iter
+      (fun p ->
+        if Sim.Engine.is_alive engine p then
+          Fd_handle.update handle p (fun v ->
+              { v with Fd_view.suspected = Sim.Pid.Set.add victim v.Fd_view.suspected }))
+      (Sim.Pid.all ~n)
+  in
+  List.iter
+    (fun (victim, at) ->
+      Sim.Engine.at engine (at + params.detection_delay) (reveal victim))
+    schedule;
+  handle

@@ -1,0 +1,21 @@
+(** A perfect failure detector (class P), realised as a simulation oracle.
+
+    Real systems cannot implement P without synchrony, but the simulator
+    {i knows} the fault schedule, so the oracle simply tells every alive
+    process about each crash [detection_delay] ticks after it happens.  It
+    never suspects a process before it crashes (strong accuracy) and
+    permanently suspects every crashed process (strong completeness).
+
+    Uses: the Section 3 construction "any P can implement ◇C" (see
+    {!Ecfd.Ec.of_perfect}), ground truth in tests, and the E1 matrix. *)
+
+type params = { detection_delay : int }
+
+val default_params : params
+(** detection_delay = 1. *)
+
+val component : string
+
+val install : ?component:string -> Sim.Engine.t -> schedule:Sim.Fault.t -> params -> Fd_handle.t
+(** [schedule] must be the same schedule applied to the engine; the oracle
+    reveals each crash to all (still-alive) processes.  Sends no messages. *)

@@ -1,0 +1,153 @@
+type params = {
+  period : int;
+  initial_timeout : int;
+  timeout_increment : int;
+  propagate : bool;
+}
+
+let default_params = { period = 10; initial_timeout = 30; timeout_increment = 20; propagate = true }
+
+let component = "fd.ring-s"
+
+(* Suspicion state travels as two epoch vectors: q is suspected iff
+   susp.(q) > refute.(q).  Vectors are merged pointwise-max, so a suspicion
+   or refutation is never lost, only superseded. *)
+type Sim.Payload.t +=
+  | Poll of int array * int array  (** susp epochs, refute epochs *)
+  | Reply of int array * int array
+
+type process_state = {
+  susp : int array;
+  refute : int array;
+  timeout : int array;
+  mutable monitored : Sim.Pid.t option;  (** Current poll target. *)
+  mutable monitor_since : Sim.Sim_time.t;
+  mutable last_reply : Sim.Sim_time.t;  (** Last direct message from [monitored]. *)
+}
+
+let install ?(component = component) engine params =
+  if params.period <= 0 || params.initial_timeout <= 0 then
+    invalid_arg "Ring_s.install: period and initial_timeout must be positive";
+  let n = Sim.Engine.n engine in
+  let handle = Fd_handle.make engine ~component in
+  let states =
+    Array.init n (fun _ ->
+        {
+          susp = Array.make n 0;
+          refute = Array.make n 0;
+          timeout = Array.make n params.initial_timeout;
+          monitored = None;
+          monitor_since = Sim.Sim_time.zero;
+          last_reply = Sim.Sim_time.zero;
+        })
+  in
+  let is_suspected st q = st.susp.(q) > st.refute.(q) in
+  let publish p =
+    let st = states.(p) in
+    let suspected =
+      List.fold_left
+        (fun acc q -> if is_suspected st q then Sim.Pid.Set.add q acc else acc)
+        Sim.Pid.Set.empty (Sim.Pid.all ~n)
+    in
+    Fd_handle.set handle p (Fd_view.make ~suspected ())
+  in
+  (* Nearest non-suspected process walking the ring from p in [step]
+     direction (-1: predecessor side, +1: successor side). *)
+  let nearest p step st =
+    let rec walk q remaining =
+      if remaining = 0 then None
+      else if not (is_suspected st q) then Some q
+      else walk ((q + step + n) mod n) (remaining - 1)
+    in
+    walk ((p + step + n) mod n) (n - 1)
+  in
+  let retarget p =
+    let st = states.(p) in
+    let target = nearest p (-1) st in
+    if not (Option.equal Sim.Pid.equal target st.monitored) then begin
+      st.monitored <- target;
+      st.monitor_since <- Sim.Engine.now engine
+    end
+  in
+  (* Direct evidence that [q] is alive: rescind any suspicion (by lifting the
+     refutation epoch) and grow the time-out so the mistake is not repeated
+     forever. *)
+  let direct_alive p q =
+    let st = states.(p) in
+    if is_suspected st q then begin
+      st.refute.(q) <- st.susp.(q);
+      st.timeout.(q) <- st.timeout.(q) + params.timeout_increment;
+      publish p;
+      retarget p
+    end
+  in
+  let merge p (susp : int array) (refute : int array) =
+    if params.propagate then begin
+      let st = states.(p) in
+      let changed = ref false in
+      for q = 0 to n - 1 do
+        if susp.(q) > st.susp.(q) then begin
+          st.susp.(q) <- susp.(q);
+          changed := true
+        end;
+        if refute.(q) > st.refute.(q) then begin
+          st.refute.(q) <- refute.(q);
+          changed := true
+        end
+      done;
+      (* Refute a circulating suspicion of myself: I am obviously alive. *)
+      if is_suspected st p then begin
+        st.refute.(p) <- st.susp.(p);
+        changed := true
+      end;
+      if !changed then begin
+        publish p;
+        retarget p
+      end
+    end
+  in
+  let poll p () =
+    let st = states.(p) in
+    retarget p;
+    match st.monitored with
+    | None -> ()
+    | Some q ->
+      Sim.Engine.send engine ~component ~tag:"poll" ~src:p ~dst:q
+        (Poll (Array.copy st.susp, Array.copy st.refute))
+  in
+  let check p () =
+    let st = states.(p) in
+    match st.monitored with
+    | None -> ()
+    | Some q ->
+      let now = Sim.Engine.now engine in
+      let start = Sim.Sim_time.max st.monitor_since st.last_reply in
+      if now - start > st.timeout.(q) then begin
+        (* No reply in time: suspect q (fresh epoch) and walk further back. *)
+        st.susp.(q) <- st.refute.(q) + 1;
+        publish p;
+        retarget p
+      end
+  in
+  let on_message p ~src payload =
+    let st = states.(p) in
+    match payload with
+    | Poll (susp, refute) ->
+      merge p susp refute;
+      direct_alive p src;
+      Sim.Engine.send engine ~component ~tag:"reply" ~src:p ~dst:src
+        (Reply (Array.copy st.susp, Array.copy st.refute))
+    | Reply (susp, refute) ->
+      merge p susp refute;
+      direct_alive p src;
+      if Option.equal Sim.Pid.equal (Some src) st.monitored then
+        st.last_reply <- Sim.Engine.now engine
+    | _ -> ()
+  in
+  List.iter
+    (fun p ->
+      Sim.Engine.register engine ~component p (on_message p);
+      ignore (Sim.Engine.every engine p ~phase:0 ~period:params.period (poll p) : unit -> unit);
+      ignore (Sim.Engine.every engine p ~period:params.period (check p) : unit -> unit))
+    (Sim.Pid.all ~n);
+  handle

@@ -1,0 +1,49 @@
+(** Ring-based implementation of ◇S, a faithful adaptation of Larrea,
+    Arévalo and Fernández [15] (DISC 1999).
+
+    Processes are arranged on the logical ring p_1 -> p_2 -> ... -> p_n ->
+    p_1.  Every period, each process POLLs its nearest predecessor it does
+    not suspect; the polled process REPLYs at once.  A process that gets no
+    reply from its monitored predecessor within an adaptive time-out
+    suspects it and moves one step further back.  Suspicions and
+    refutations are piggybacked on polls and replies as epoch vectors
+    ([q] is suspected iff its suspicion epoch exceeds its refutation epoch),
+    so they circulate around the ring in both directions: polls carry
+    information backward, replies carry it forward.  A process refutes a
+    circulating suspicion of itself by raising its own refutation epoch, and
+    any direct message from a suspected process rescinds the suspicion and
+    grows its time-out.
+
+    Properties (checked empirically in the E1 benchmark):
+    - strong completeness: the crash of q is detected by q's poller and the
+      epoch vectors carry it to everyone — in up to n piggyback hops, which
+      is exactly the "high latency in crash detection" of the ring approach
+      that Section 4 of the ◇C paper contrasts with its transformation
+      (measured in E3);
+    - eventual weak accuracy under partial synchrony: each false suspicion
+      grows a time-out, so mistakes die out after GST;
+    - the guarantee Section 3 relies on: eventually the first non-suspected
+      process, starting from the initial candidate p_1 and following the
+      ring, is the same correct process at every correct process — which is
+      how {!Ecfd.Ec.of_ring} extracts a ◇C leader at no extra cost.
+
+    Cost: 2n messages per period (n polls + n replies), the figure quoted in
+    Section 4 for the ring ◇P of [15].
+
+    [propagate = false] disables the piggybacked epochs: suspicions stay
+    local to the poller, which weakens the detector to weak completeness
+    (a ◇W-grade detector, used to exercise {!Weak_to_strong}). *)
+
+type params = {
+  period : int;
+  initial_timeout : int;
+  timeout_increment : int;
+  propagate : bool;
+}
+
+val default_params : params
+
+val component : string
+
+val install : ?component:string -> Sim.Engine.t -> params -> Fd_handle.t
+(** Views have [trusted = None]; leader extraction is a ◇C-layer concern. *)

@@ -1,0 +1,23 @@
+type step = {
+  at : Sim.Sim_time.t;
+  pid : Sim.Pid.t;
+  view : Fd_view.t;
+}
+
+let component = "fd.scripted"
+
+let install ?(component = component) engine ~initial ~steps () =
+  let n = Sim.Engine.n engine in
+  let handle = Fd_handle.make engine ~component in
+  List.iter (fun p -> Fd_handle.set handle p (initial p)) (Sim.Pid.all ~n);
+  List.iter
+    (fun { at; pid; view } -> Sim.Engine.at engine at (fun () -> Fd_handle.set handle pid view))
+    steps;
+  handle
+
+let stable ~leader ~n p =
+  let everybody = Sim.Pid.set_of_list (Sim.Pid.all ~n) in
+  let suspected = Sim.Pid.Set.remove leader (Sim.Pid.Set.remove p everybody) in
+  Fd_view.make ~trusted:leader ~suspected ()
+
+let accurate_stable ~leader ~crashed _p = Fd_view.make ~trusted:leader ~suspected:crashed ()

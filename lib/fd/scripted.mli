@@ -1,0 +1,36 @@
+(** A fully scripted failure detector.
+
+    The experimenter fixes every module's output over time.  This is the
+    adversarial instrument behind Theorem 3's lower-bound experiment (E5):
+    a detector that is {i stable from the start} — e.g. every process
+    permanently suspects everybody except a chosen correct process p_i —
+    exposes how many rounds a rotating-coordinator algorithm needs before
+    p_i's turn comes, while a ◇C algorithm decides in one round.
+
+    It is also used to feed controlled inputs (e.g. a bare ◇W view, or
+    transient false suspicions) into the transformations. *)
+
+type step = {
+  at : Sim.Sim_time.t;
+  pid : Sim.Pid.t;
+  view : Fd_view.t;
+}
+
+val component : string
+
+val install :
+  ?component:string ->
+  Sim.Engine.t ->
+  initial:(Sim.Pid.t -> Fd_view.t) ->
+  steps:step list ->
+  unit ->
+  Fd_handle.t
+(** Each module starts at [initial pid]; each step replaces one module's
+    view at the given instant.  Sends no messages. *)
+
+val stable : leader:Sim.Pid.t -> n:int -> Sim.Pid.t -> Fd_view.t
+(** The Theorem 3 adversary's view: trust [leader], suspect everyone except
+    [leader] and oneself — identical at every process, from time zero. *)
+
+val accurate_stable : leader:Sim.Pid.t -> crashed:Sim.Pid.Set.t -> Sim.Pid.t -> Fd_view.t
+(** Trust [leader], suspect exactly [crashed]. *)

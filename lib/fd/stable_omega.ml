@@ -1,0 +1,128 @@
+type params = {
+  period : int;
+  initial_timeout : int;
+  timeout_increment : int;
+}
+
+let default_params = { period = 10; initial_timeout = 30; timeout_increment = 20 }
+
+let component = "fd.stable-omega"
+
+type Sim.Payload.t +=
+  | Leader_heartbeat of int array  (** The sender's epoch vector. *)
+  | Accusation of int array
+
+type process_state = {
+  epoch : int array;  (** Accusation epochs, merged pointwise-max. *)
+  timeout : int array;
+  mutable last_heard : Sim.Sim_time.t;  (** Last heartbeat from the current leader. *)
+  mutable leader_since : Sim.Sim_time.t;
+  mutable accused : Sim.Pid.Set.t;  (** Accusations not yet proven premature. *)
+}
+
+let install ?(component = component) engine params =
+  if params.period <= 0 || params.initial_timeout <= 0 then
+    invalid_arg "Stable_omega.install: period and initial_timeout must be positive";
+  let n = Sim.Engine.n engine in
+  let handle = Fd_handle.make engine ~component in
+  let states =
+    Array.init n (fun _ ->
+        {
+          epoch = Array.make n 0;
+          timeout = Array.make n params.initial_timeout;
+          last_heard = Sim.Sim_time.zero;
+          leader_since = Sim.Sim_time.zero;
+          accused = Sim.Pid.Set.empty;
+        })
+  in
+  let everybody = Sim.Pid.set_of_list (Sim.Pid.all ~n) in
+  let leader_of st =
+    (* argmin (epoch, id): epochs only grow, so the minimum moves away from
+       a process exactly when it accumulates accusations. *)
+    let best = ref 0 in
+    for q = 1 to n - 1 do
+      if st.epoch.(q) < st.epoch.(!best) then best := q
+    done;
+    !best
+  in
+  let publish p =
+    let st = states.(p) in
+    let leader = leader_of st in
+    let suspected = Sim.Pid.Set.remove leader (Sim.Pid.Set.remove p everybody) in
+    Fd_handle.set handle p (Fd_view.make ~trusted:leader ~suspected ())
+  in
+  let refresh_leadership p old_leader =
+    let st = states.(p) in
+    let leader = leader_of st in
+    if not (Sim.Pid.equal leader old_leader) then begin
+      st.leader_since <- Sim.Engine.now engine;
+      st.last_heard <- Sim.Engine.now engine
+    end;
+    publish p
+  in
+  let merge p (theirs : int array) =
+    let st = states.(p) in
+    let old_leader = leader_of st in
+    let changed = ref false in
+    for q = 0 to n - 1 do
+      if theirs.(q) > st.epoch.(q) then begin
+        st.epoch.(q) <- theirs.(q);
+        changed := true
+      end
+    done;
+    if !changed then refresh_leadership p old_leader
+  in
+  let heartbeat p () =
+    let st = states.(p) in
+    if Sim.Pid.equal (leader_of st) p then
+      Sim.Engine.send_to_all_others engine ~component ~tag:"leader-heartbeat" ~src:p
+        (Leader_heartbeat (Array.copy st.epoch))
+  in
+  let check p () =
+    let st = states.(p) in
+    let leader = leader_of st in
+    if not (Sim.Pid.equal leader p) then begin
+      let now = Sim.Engine.now engine in
+      let start = Sim.Sim_time.max st.leader_since st.last_heard in
+      (* Patience grows with the accusation epoch: a deposed process sends
+         no heartbeats, so the usual grow-on-refutation path cannot adapt
+         its time-out; scaling by the epoch bounds the total number of
+         premature accusations all the same. *)
+      let effective_timeout =
+        st.timeout.(leader) + (params.timeout_increment * st.epoch.(leader))
+      in
+      if now - start > effective_timeout then begin
+        (* Accuse the silent leader: bump its epoch and tell everybody, so
+           the whole system moves off it together. *)
+        st.epoch.(leader) <- st.epoch.(leader) + 1;
+        st.accused <- Sim.Pid.Set.add leader st.accused;
+        Sim.Engine.send_to_all_others engine ~component ~tag:"accusation" ~src:p
+          (Accusation (Array.copy st.epoch));
+        refresh_leadership p leader
+      end
+    end
+  in
+  let on_message p ~src payload =
+    let st = states.(p) in
+    match payload with
+    | Leader_heartbeat theirs ->
+      merge p theirs;
+      if Sim.Pid.equal src (leader_of st) then st.last_heard <- Sim.Engine.now engine;
+      if Sim.Pid.Set.mem src st.accused then begin
+        (* The accused is alive: the accusation was premature; be more
+           patient with it from now on. *)
+        st.accused <- Sim.Pid.Set.remove src st.accused;
+        st.timeout.(src) <- st.timeout.(src) + params.timeout_increment
+      end
+    | Accusation theirs -> merge p theirs
+    | _ -> ()
+  in
+  List.iter
+    (fun p ->
+      Sim.Engine.register engine ~component p (on_message p);
+      publish p;
+      ignore (Sim.Engine.every engine p ~phase:0 ~period:params.period (heartbeat p)
+               : unit -> unit);
+      ignore (Sim.Engine.every engine p ~period:params.period (check p) : unit -> unit))
+    (Sim.Pid.all ~n);
+  handle

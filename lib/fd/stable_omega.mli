@@ -1,0 +1,37 @@
+(** Stable leader election (Ω), after Aguilera, Delporte-Gallet, Fauconnier
+    and Toueg [2] ("Stable leader election", DISC 2001), which the ◇C paper
+    discusses in Sections 1 and 4.
+
+    Plain order-based detectors like {!Leader_s} always re-adopt the
+    smallest live-looking process, so a wrongly demoted p_1 grabs the
+    leadership back every time one of its heartbeats squeaks through —
+    leadership can flap indefinitely under pre-GST asynchrony.  A {i stable}
+    Ω changes leader only when the current leader appears to have crashed.
+
+    Accusation-counter algorithm: every process orders candidates by
+    (accusation epoch, id) and trusts the minimum.  Only self-believed
+    leaders send heartbeats (n-1 messages per period, like [16]), carrying
+    the sender's epoch vector (merged pointwise-max).  A process whose
+    current leader times out {i accuses} it — bumping its epoch and
+    broadcasting the accusation — and moves to the new minimum.  A demoted
+    process keeps its bumped epoch, so it does not displace the incumbent
+    when its heartbeats resume (stability); a premature accusation grows the
+    accuser's time-out when the accused is heard from again, so accusations
+    die out after GST and the leadership converges (Ω's Property 1).
+
+    Exported view: [trusted] = current minimum; [suspected] = everybody
+    except the leader and oneself (Ω-grade accuracy, like {!Leader_s}), so
+    {!Ecfd.Ec.of_leader_s} turns it into a ◇C for free.  Experiment E11
+    measures the stability gain over {!Leader_s}. *)
+
+type params = {
+  period : int;
+  initial_timeout : int;
+  timeout_increment : int;
+}
+
+val default_params : params
+
+val component : string
+
+val install : ?component:string -> Sim.Engine.t -> params -> Fd_handle.t

@@ -1,0 +1,42 @@
+type params = { period : int }
+
+let default_params = { period = 10 }
+
+let component = "fd.weak-to-strong"
+
+type Sim.Payload.t += Suspects of Sim.Pid.Set.t
+
+let install ?(component = component) engine ~underlying params =
+  if params.period <= 0 then invalid_arg "Weak_to_strong.install: period must be positive";
+  let n = Sim.Engine.n engine in
+  let handle = Fd_handle.make engine ~component in
+  let broadcast p () =
+    Sim.Engine.send_to_all_others engine ~component ~tag:"suspects" ~src:p
+      (Suspects (Fd_handle.suspected underlying p));
+    (* Local merge: own input suspicions surface without a network hop. *)
+    Fd_handle.update handle p (fun v ->
+        {
+          v with
+          Fd_view.suspected =
+            Sim.Pid.Set.remove p
+              (Sim.Pid.Set.union v.Fd_view.suspected (Fd_handle.suspected underlying p));
+        })
+  in
+  let on_message p ~src payload =
+    match payload with
+    | Suspects s ->
+      Fd_handle.update handle p (fun v ->
+          {
+            v with
+            Fd_view.suspected =
+              Sim.Pid.Set.remove src (Sim.Pid.Set.union v.Fd_view.suspected s);
+          })
+    | _ -> ()
+  in
+  List.iter
+    (fun p ->
+      Sim.Engine.register engine ~component p (on_message p);
+      ignore (Sim.Engine.every engine p ~phase:0 ~period:params.period (broadcast p)
+               : unit -> unit))
+    (Sim.Pid.all ~n);
+  handle

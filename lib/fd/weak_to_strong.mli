@@ -1,0 +1,22 @@
+(** The Chandra–Toueg transformation from weak to strong completeness [6].
+
+    Every period, every process broadcasts the suspect set of its underlying
+    (weak-completeness) detector; on receiving a set S from q, a process
+    merges it into its output and removes q — q has just proved itself
+    alive.  Weak completeness then amplifies to strong completeness (the one
+    correct suspector keeps broadcasting, crashed processes never exonerate
+    themselves), and both eventual accuracy properties are preserved
+    (the eventually-unsuspected process stops being accused and keeps
+    removing itself from every output via its own broadcasts).
+
+    Used in Section 3's chain ◇W -> ◇S -> (+Ω) -> ◇C.
+    Cost: n(n-1) messages per period. *)
+
+type params = { period : int }
+
+val default_params : params
+
+val component : string
+
+val install :
+  ?component:string -> Sim.Engine.t -> underlying:Fd_handle.t -> params -> Fd_handle.t

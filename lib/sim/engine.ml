@@ -1,0 +1,202 @@
+type event_kind =
+  | Deliver of Payload.envelope
+  | Timer_fire of { pid : Pid.t; id : int; callback : unit -> unit }
+  | Crash_now of Pid.t
+  | Harness of (unit -> unit)
+
+type t = {
+  n : int;
+  mutable now : Sim_time.t;
+  queue : event_kind Event_queue.t;
+  link : Link.t;
+  rng : Rng.t;
+  alive : bool array;
+  handlers : (string, (src:Pid.t -> Payload.t -> unit) option array) Hashtbl.t;
+  trace : Trace.t;
+  stats : Stats.t;
+  cancelled_timers : (int, unit) Hashtbl.t;
+  mutable next_timer_id : int;
+}
+
+let create ?(seed = 0) ~n ~link () =
+  if n < 1 then invalid_arg "Engine.create: n must be >= 1";
+  {
+    n;
+    now = Sim_time.zero;
+    queue = Event_queue.create ();
+    link;
+    rng = Rng.create ~seed;
+    alive = Array.make n true;
+    handlers = Hashtbl.create 8;
+    trace = Trace.create ();
+    stats = Stats.create ();
+    cancelled_timers = Hashtbl.create 64;
+    next_timer_id = 0;
+  }
+
+let n t = t.n
+let now t = t.now
+let trace t = t.trace
+let stats t = t.stats
+let link_description t = t.link.Link.describe
+
+let check_pid t p =
+  if not (Pid.is_valid ~n:t.n p) then invalid_arg "Engine: invalid process id"
+
+let is_alive t p =
+  check_pid t p;
+  t.alive.(p)
+
+let alive_processes t = List.filter (fun p -> t.alive.(p)) (Pid.all ~n:t.n)
+
+let schedule_crash t p ~at =
+  check_pid t p;
+  if at < t.now then invalid_arg "Engine.schedule_crash: instant in the past";
+  Event_queue.schedule t.queue ~at (Crash_now p)
+
+let register t ~component p handler =
+  check_pid t p;
+  let slots =
+    match Hashtbl.find_opt t.handlers component with
+    | Some slots -> slots
+    | None ->
+      let slots = Array.make t.n None in
+      Hashtbl.add t.handlers component slots;
+      slots
+  in
+  match slots.(p) with
+  | Some _ ->
+    invalid_arg
+      (Printf.sprintf "Engine.register: duplicate handler for component %S at %s" component
+         (Pid.to_string p))
+  | None -> slots.(p) <- Some handler
+
+let send t ~component ~tag ~src ~dst payload =
+  check_pid t src;
+  check_pid t dst;
+  if t.alive.(src) then begin
+    let envelope =
+      { Payload.src; dst; component; tag; payload; sent_at = t.now }
+    in
+    if Pid.equal src dst then
+      (* Local delivery: immediate, not a network message, not counted. *)
+      Event_queue.schedule t.queue ~at:t.now (Deliver envelope)
+    else begin
+      Trace.record t.trace (Send { at = t.now; src; dst; component; tag });
+      Stats.on_send t.stats ~component ~tag;
+      match t.link.Link.fate ~rng:t.rng ~now:t.now ~src ~dst with
+      | Link.Drop ->
+        Trace.record t.trace (Drop { at = t.now; src; dst; component; tag; reason = "lossy" });
+        Stats.on_drop t.stats ~component ~tag
+      | Link.Deliver_at at ->
+        assert (at >= t.now);
+        Event_queue.schedule t.queue ~at (Deliver envelope)
+    end
+  end
+
+let send_to_all_others t ~component ~tag ~src payload =
+  List.iter (fun dst -> send t ~component ~tag ~src ~dst payload) (Pid.others ~n:t.n src)
+
+let send_to_all t ~component ~tag ~src payload =
+  List.iter (fun dst -> send t ~component ~tag ~src ~dst payload) (Pid.all ~n:t.n)
+
+type timer = int
+
+let set_timer t p ~delay callback =
+  check_pid t p;
+  if delay < 0 then invalid_arg "Engine.set_timer: negative delay";
+  let id = t.next_timer_id in
+  t.next_timer_id <- id + 1;
+  Event_queue.schedule t.queue ~at:(t.now + delay) (Timer_fire { pid = p; id; callback });
+  id
+
+let cancel_timer t id = Hashtbl.replace t.cancelled_timers id ()
+
+let every t p ?phase ~period callback =
+  check_pid t p;
+  if period <= 0 then invalid_arg "Engine.every: period must be positive";
+  let phase = match phase with Some d -> d | None -> period in
+  let stopped = ref false in
+  let rec arm delay =
+    ignore
+      (set_timer t p ~delay (fun () ->
+           if not !stopped then begin
+             callback ();
+             arm period
+           end)
+        : timer)
+  in
+  arm phase;
+  fun () -> stopped := true
+
+let at t instant callback =
+  if instant < t.now then invalid_arg "Engine.at: instant in the past";
+  Event_queue.schedule t.queue ~at:instant (Harness callback)
+
+let note t p ~tag detail = Trace.record t.trace (Note { at = t.now; pid = p; tag; detail })
+
+let record_fd_view t ~component p ~suspected ~trusted =
+  Trace.record t.trace (Fd_view { at = t.now; pid = p; component; suspected; trusted })
+
+let dispatch t (envelope : Payload.envelope) =
+  let { Payload.src; dst; component; tag; payload; _ } = envelope in
+  if not t.alive.(dst) then begin
+    if not (Pid.equal src dst) then begin
+      Trace.record t.trace
+        (Drop { at = t.now; src; dst; component; tag; reason = "destination crashed" });
+      Stats.on_drop t.stats ~component ~tag
+    end
+  end
+  else begin
+    let handler =
+      match Hashtbl.find_opt t.handlers component with
+      | None -> None
+      | Some slots -> slots.(dst)
+    in
+    match handler with
+    | None ->
+      failwith
+        (Printf.sprintf "Engine: message for component %S at %s but no handler registered"
+           component (Pid.to_string dst))
+    | Some h ->
+      if not (Pid.equal src dst) then begin
+        Trace.record t.trace (Deliver { at = t.now; src; dst; component; tag });
+        Stats.on_deliver t.stats ~component ~tag
+      end;
+      h ~src payload
+  end
+
+let execute t kind =
+  match kind with
+  | Deliver envelope -> dispatch t envelope
+  | Timer_fire { pid; id; callback } ->
+    if t.alive.(pid) && not (Hashtbl.mem t.cancelled_timers id) then callback ()
+  | Crash_now p ->
+    if t.alive.(p) then begin
+      t.alive.(p) <- false;
+      Trace.record t.trace (Crash { at = t.now; pid = p })
+    end
+  | Harness f -> f ()
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (at, kind) ->
+    assert (at >= t.now);
+    t.now <- at;
+    execute t kind;
+    true
+
+let run_until t horizon =
+  if horizon < t.now then invalid_arg "Engine.run_until: horizon in the past";
+  let rec loop () =
+    match Event_queue.next_time t.queue with
+    | Some at when at <= horizon ->
+      ignore (step t : bool);
+      loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  t.now <- horizon
+
+let pending_events t = Event_queue.length t.queue

@@ -1,0 +1,101 @@
+(** The discrete-event simulator core.
+
+    An engine simulates the paper's system model (Section 2.1): a finite set
+    of [n] processes, fully connected by point-to-point links, advancing an
+    abstract global clock.  Processes fail only by crashing, permanently.
+    Protocol components attach per-process message handlers and timers; the
+    engine delivers messages according to the configured {!Link} model,
+    fires timers, executes crashes, and records everything in a {!Trace}
+    and in {!Stats} counters.
+
+    Determinism: the engine owns a seeded {!Rng} used exclusively for link
+    fates, and same-instant events fire in scheduling order, so a run is a
+    pure function of (seed, configuration, component code).
+
+    Conventions:
+    - a {b self-send} ([src = dst]) is local: it is delivered at the current
+      instant, bypasses the link model, and is {i not} counted as a message
+      (the paper's message counts only cover inter-process messages);
+    - a crashed process neither executes handlers and timers nor sends; its
+      in-flight messages may still be delivered (standard crash model);
+    - messages addressed to a process that has crashed by delivery time are
+      dropped. *)
+
+type t
+
+val create : ?seed:int -> n:int -> link:Link.t -> unit -> t
+(** [n >= 1] processes, all initially alive, clock at 0. *)
+
+val n : t -> int
+val now : t -> Sim_time.t
+val trace : t -> Trace.t
+val stats : t -> Stats.t
+val link_description : t -> string
+
+(** {1 Process status} *)
+
+val is_alive : t -> Pid.t -> bool
+(** Has not crashed yet (at the current instant). *)
+
+val alive_processes : t -> Pid.t list
+
+val schedule_crash : t -> Pid.t -> at:Sim_time.t -> unit
+(** The process stops executing at instant [at] (before any of its events at
+    that instant that were scheduled after the crash was enqueued). *)
+
+(** {1 Component plumbing} *)
+
+val register : t -> component:string -> Pid.t -> (src:Pid.t -> Payload.t -> unit) -> unit
+(** Install the message handler of [component] at one process.  At most one
+    handler per (component, process); re-registration raises
+    [Invalid_argument]. *)
+
+val send :
+  t -> component:string -> tag:string -> src:Pid.t -> dst:Pid.t -> Payload.t -> unit
+(** Send a message.  No-op if [src] has crashed. *)
+
+val send_to_all_others :
+  t -> component:string -> tag:string -> src:Pid.t -> Payload.t -> unit
+(** Send to every process except [src] (n-1 messages). *)
+
+val send_to_all : t -> component:string -> tag:string -> src:Pid.t -> Payload.t -> unit
+(** Send to every process including [src] (the self-copy is local). *)
+
+(** {1 Timers} *)
+
+type timer
+
+val set_timer : t -> Pid.t -> delay:int -> (unit -> unit) -> timer
+(** Run the callback [delay] ticks from now, unless cancelled or the process
+    crashes first.  [delay >= 0]. *)
+
+val cancel_timer : t -> timer -> unit
+
+val every : t -> Pid.t -> ?phase:int -> period:int -> (unit -> unit) -> unit -> unit
+(** [every t p ~phase ~period f] runs [f] at [now + phase], then every
+    [period] ticks, while [p] is alive.  Returns a stop function.
+    [phase] defaults to [period]. *)
+
+(** {1 Harness hooks} *)
+
+val at : t -> Sim_time.t -> (unit -> unit) -> unit
+(** Schedule a harness action at an absolute instant; it runs regardless of
+    crashes (it belongs to the experimenter, not to any process). *)
+
+val note : t -> Pid.t -> tag:string -> string -> unit
+(** Append a note event to the trace. *)
+
+val record_fd_view :
+  t -> component:string -> Pid.t -> suspected:Pid.Set.t -> trusted:Pid.t option -> unit
+(** Record a failure-detector output change in the trace. *)
+
+(** {1 Execution} *)
+
+val step : t -> bool
+(** Process the next event; [false] if the queue is empty. *)
+
+val run_until : t -> Sim_time.t -> unit
+(** Process every event up to and including the given instant, then set the
+    clock to it.  Raises [Invalid_argument] on a horizon in the past. *)
+
+val pending_events : t -> int

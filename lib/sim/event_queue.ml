@@ -1,0 +1,22 @@
+type 'a entry = { at : Sim_time.t; seq : int; value : 'a }
+
+type 'a t = { heap : 'a entry Heap.t; mutable next_seq : int }
+
+let compare_entry a b =
+  let c = Sim_time.compare a.at b.at in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create () = { heap = Heap.create ~cmp:compare_entry; next_seq = 0 }
+
+let length t = Heap.length t.heap
+let is_empty t = Heap.is_empty t.heap
+
+let schedule t ~at value =
+  Heap.push t.heap { at; seq = t.next_seq; value };
+  t.next_seq <- t.next_seq + 1
+
+let next_time t = Option.map (fun e -> e.at) (Heap.peek t.heap)
+
+let pop t = Option.map (fun e -> (e.at, e.value)) (Heap.pop t.heap)
+
+let clear t = Heap.clear t.heap

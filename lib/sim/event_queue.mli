@@ -1,0 +1,25 @@
+(** Timestamped event queue.
+
+    A thin layer over {!Heap} that orders entries by (time, insertion
+    sequence): events scheduled for the same instant fire in the order they
+    were scheduled, which makes runs deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val schedule : 'a t -> at:Sim_time.t -> 'a -> unit
+(** Enqueue an event to fire at [at].  [at] may equal the current pop
+    frontier (same-instant follow-up events are allowed) but scheduling in
+    the past of an already-popped instant is the caller's bug; the queue
+    itself does not check monotonicity. *)
+
+val next_time : 'a t -> Sim_time.t option
+(** Timestamp of the earliest pending event. *)
+
+val pop : 'a t -> (Sim_time.t * 'a) option
+(** Remove and return the earliest pending event. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,38 @@
+type t = (Pid.t * Sim_time.t) list
+
+let none = []
+
+let crash p ~at = [ (p, at) ]
+
+let crashes entries =
+  let victims = List.map fst entries in
+  let distinct = List.sort_uniq Pid.compare victims in
+  if List.length distinct <> List.length victims then
+    invalid_arg "Fault.crashes: duplicate process";
+  entries
+
+let apply engine schedule =
+  List.iter (fun (p, at) -> Engine.schedule_crash engine p ~at) schedule
+
+let faulty schedule = Pid.set_of_list (List.map fst schedule)
+
+let correct ~n schedule = Pid.Set.diff (Pid.set_of_list (Pid.all ~n)) (faulty schedule)
+
+let last_crash_time schedule =
+  List.fold_left (fun acc (_, at) -> Sim_time.max acc at) Sim_time.zero schedule
+
+let random rng ~n ~max_faulty ~latest =
+  let k = if max_faulty <= 0 then 0 else Rng.int_in_range rng ~lo:0 ~hi:max_faulty in
+  let candidates = Array.of_list (Pid.all ~n) in
+  Rng.shuffle rng candidates;
+  List.init k (fun i -> (candidates.(i), Rng.int_in_range rng ~lo:0 ~hi:latest))
+
+let random_minority rng ~n ~latest =
+  let max_faulty = (n - 1) / 2 in
+  random rng ~n ~max_faulty ~latest
+
+let pp ppf schedule =
+  let pp_entry ppf (p, at) = Format.fprintf ppf "%a@%a" Pid.pp p Sim_time.pp at in
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp_entry)
+    schedule

@@ -1,0 +1,36 @@
+(** Crash schedules (fault injection).
+
+    The paper's model: processes fail by crashing, crashes are permanent.
+    A schedule fixes which processes crash and when; [apply] installs it
+    into an engine.  Random schedules respect the consensus requirement
+    [f < n/2] when asked to. *)
+
+type t = (Pid.t * Sim_time.t) list
+(** [(p, at)]: process [p] crashes at instant [at].  At most one entry per
+    process. *)
+
+val none : t
+
+val crash : Pid.t -> at:Sim_time.t -> t
+val crashes : (Pid.t * Sim_time.t) list -> t
+
+val apply : Engine.t -> t -> unit
+
+val faulty : t -> Pid.Set.t
+(** The processes that the schedule crashes. *)
+
+val correct : n:int -> t -> Pid.Set.t
+(** The processes that never crash under the schedule. *)
+
+val last_crash_time : t -> Sim_time.t
+(** 0 for the empty schedule. *)
+
+val random :
+  Rng.t -> n:int -> max_faulty:int -> latest:Sim_time.t -> t
+(** A uniformly random schedule: pick [k <= max_faulty] distinct victims and
+    independent crash instants in [[0, latest]]. *)
+
+val random_minority : Rng.t -> n:int -> latest:Sim_time.t -> t
+(** Random schedule with [f < n/2] (the consensus requirement). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+(** Imperative binary min-heap, the backing store of the event queue.
+
+    Elements are ordered by a user-supplied comparison.  The event queue
+    pairs each element with a monotonically increasing sequence number to
+    make ties deterministic (FIFO among equal keys), so the heap itself only
+    needs a strict weak order. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element, without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val clear : 'a t -> unit
+
+val to_list_unordered : 'a t -> 'a list
+(** All elements in unspecified order (inspection/testing). *)

@@ -1,0 +1,16 @@
+type t = ..
+
+type t += Blank
+
+type envelope = {
+  src : Pid.t;
+  dst : Pid.t;
+  component : string;
+  tag : string;
+  payload : t;
+  sent_at : Sim_time.t;
+}
+
+let pp_envelope ppf e =
+  Format.fprintf ppf "%a->%a %s/%s (sent %a)" Pid.pp e.src Pid.pp e.dst e.component e.tag
+    Sim_time.pp e.sent_at

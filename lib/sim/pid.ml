@@ -1,0 +1,25 @@
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let hash p = p
+
+let pp ppf p = Format.fprintf ppf "p%d" (p + 1)
+let to_string p = Format.asprintf "%a" pp p
+
+let all ~n = List.init n Fun.id
+let others ~n p = List.filter (fun q -> q <> p) (all ~n)
+
+let next_in_ring ~n p = (p + 1) mod n
+let prev_in_ring ~n p = (p + n - 1) mod n
+
+let is_valid ~n p = p >= 0 && p < n
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)
+
+let set_of_list ps = Set.of_list ps
+
+let pp_set ppf s =
+  let elts = Set.elements s in
+  Format.fprintf ppf "{%a}" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp) elts

@@ -1,0 +1,39 @@
+(** Process identifiers.
+
+    The system model (paper, Section 2.1) is a finite, totally ordered set
+    [Pi = {p_1, ..., p_n}] of processes.  We represent [p_i] by the integer
+    [i - 1], so identifiers range over [0 .. n-1] and the total order of the
+    paper is the natural integer order. *)
+
+type t = int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints [p3] for process 2, matching the paper's 1-based naming. *)
+
+val to_string : t -> string
+
+val all : n:int -> t list
+(** [all ~n] is [p_1; ...; p_n], i.e. [[0; 1; ...; n-1]]. *)
+
+val others : n:int -> t -> t list
+(** [others ~n p] is every process except [p], in total order. *)
+
+val next_in_ring : n:int -> t -> t
+(** Successor on the logical ring [p_1 -> p_2 -> ... -> p_n -> p_1]. *)
+
+val prev_in_ring : n:int -> t -> t
+(** Predecessor on the logical ring. *)
+
+val is_valid : n:int -> t -> bool
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+val set_of_list : t list -> Set.t
+
+val pp_set : Format.formatter -> Set.t -> unit
+(** Prints [{p1, p4}]. *)

@@ -1,0 +1,50 @@
+(* Splitmix64 (Steele, Lea & Flood, OOPSLA 2014): a tiny, high-quality,
+   splittable generator.  Chosen over [Stdlib.Random] so runs are stable
+   across OCaml versions. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed = { state = mix (Int64.of_int seed) }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = { state = next_int64 t }
+let copy t = { state = t.state }
+
+let int t ~bound =
+  assert (bound > 0);
+  (* Keep 62 bits so the value fits OCaml's 63-bit int non-negatively. *)
+  let raw = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  raw mod bound
+
+let int_in_range t ~lo ~hi =
+  assert (lo <= hi);
+  lo + int t ~bound:(hi - lo + 1)
+
+let float t =
+  let raw = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  raw /. 9007199254740992.0 (* 2^53 *)
+
+let bool t ~p = float t < p
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t ~bound:(i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t xs =
+  match xs with
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | _ -> List.nth xs (int t ~bound:(List.length xs))

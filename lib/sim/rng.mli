@@ -1,0 +1,38 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every source of randomness in the simulator (message delays, drop
+    decisions, random crash schedules, value choices in tests) flows through
+    one of these generators, so a run is fully determined by its seed.  The
+    generator is splittable: independent sub-streams can be derived for
+    independent components, which keeps runs reproducible even when the set
+    of components or their interleaving changes. *)
+
+type t
+
+val create : seed:int -> t
+
+val split : t -> t
+(** Derive an independent generator; the parent advances. *)
+
+val copy : t -> t
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> bound:int -> int
+(** [int t ~bound] is uniform in [0, bound).  [bound] must be positive. *)
+
+val int_in_range : t -> lo:int -> hi:int -> int
+(** Uniform in the inclusive range [lo, hi].  Requires [lo <= hi]. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> p:float -> bool
+(** Bernoulli trial: [true] with probability [p]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a list -> 'a
+(** Uniformly random element of a non-empty list. *)

@@ -1,0 +1,9 @@
+type 'a t = { mutable rev_subscribers : ('a -> unit) list }
+
+let create () = { rev_subscribers = [] }
+
+let subscribe t f = t.rev_subscribers <- f :: t.rev_subscribers
+
+let emit t x = List.iter (fun f -> f x) (List.rev t.rev_subscribers)
+
+let subscriber_count t = List.length t.rev_subscribers

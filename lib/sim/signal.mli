@@ -1,0 +1,18 @@
+(** Minimal synchronous publish/subscribe.
+
+    Used for intra-simulation notifications that are not messages — chiefly
+    "a failure-detector module's output changed", which wakes up consensus
+    processes blocked in a phase whose exit condition mentions the detector
+    (e.g. Phase 0 "until trusted = self" or Phase 3 "until the coordinator is
+    suspected" in Fig. 3). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val subscribe : 'a t -> ('a -> unit) -> unit
+(** Subscribers are invoked synchronously, in subscription order. *)
+
+val emit : 'a t -> 'a -> unit
+
+val subscriber_count : 'a t -> int

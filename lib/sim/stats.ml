@@ -1,0 +1,62 @@
+type counts = { sent : int; delivered : int; dropped : int }
+
+let zero = { sent = 0; delivered = 0; dropped = 0 }
+
+let add a b =
+  { sent = a.sent + b.sent; delivered = a.delivered + b.delivered; dropped = a.dropped + b.dropped }
+
+(* Keyed by (component, tag); component-level views aggregate on the fly.
+   Simulations have few distinct keys, so a Hashtbl is ample. *)
+type t = { table : (string * string, counts ref) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 32 }
+
+let cell t ~component ~tag =
+  let key = (component, tag) in
+  match Hashtbl.find_opt t.table key with
+  | Some c -> c
+  | None ->
+    let c = ref zero in
+    Hashtbl.add t.table key c;
+    c
+
+let on_send t ~component ~tag =
+  let c = cell t ~component ~tag in
+  c := { !c with sent = !c.sent + 1 }
+
+let on_deliver t ~component ~tag =
+  let c = cell t ~component ~tag in
+  c := { !c with delivered = !c.delivered + 1 }
+
+let on_drop t ~component ~tag =
+  let c = cell t ~component ~tag in
+  c := { !c with dropped = !c.dropped + 1 }
+
+let component_counts t ~component =
+  Hashtbl.fold
+    (fun (c, _) v acc -> if String.equal c component then add acc !v else acc)
+    t.table zero
+
+let tag_counts t ~component ~tag =
+  match Hashtbl.find_opt t.table (component, tag) with Some c -> !c | None -> zero
+
+let total t = Hashtbl.fold (fun _ v acc -> add acc !v) t.table zero
+
+let components t =
+  Hashtbl.fold (fun (c, _) _ acc -> if List.mem c acc then acc else c :: acc) t.table []
+  |> List.sort String.compare
+
+type snapshot = (string * string * counts) list
+
+let snapshot t = Hashtbl.fold (fun (c, tag) v acc -> (c, tag, !v) :: acc) t.table []
+
+let sent_in_snapshot snap ~component =
+  List.fold_left
+    (fun acc (c, _, v) -> if String.equal c component then acc + v.sent else acc)
+    0 snap
+
+let sent_since t snap ~component =
+  (component_counts t ~component).sent - sent_in_snapshot snap ~component
+
+let total_sent_since t snap =
+  (total t).sent - List.fold_left (fun acc (_, _, v) -> acc + v.sent) 0 snap

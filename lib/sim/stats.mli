@@ -1,0 +1,37 @@
+(** Message counters.
+
+    Counts sends / deliveries / drops per protocol component (and per
+    component+tag), which is how the benchmark harness measures the paper's
+    "messages periodically sent" (Section 4) and "messages per round"
+    (Section 5.4) claims.  [snapshot]/[diff] support windowed counting:
+    count only what happens between two instants, e.g. one heartbeat period
+    or one consensus round in steady state. *)
+
+type counts = { sent : int; delivered : int; dropped : int }
+
+type t
+
+val create : unit -> t
+
+val on_send : t -> component:string -> tag:string -> unit
+val on_deliver : t -> component:string -> tag:string -> unit
+val on_drop : t -> component:string -> tag:string -> unit
+
+val component_counts : t -> component:string -> counts
+(** Aggregated over all tags of the component; zeros if unknown. *)
+
+val tag_counts : t -> component:string -> tag:string -> counts
+
+val total : t -> counts
+
+val components : t -> string list
+(** All component names seen so far, sorted. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+
+val sent_since : t -> snapshot -> component:string -> int
+(** Messages of [component] sent since the snapshot was taken. *)
+
+val total_sent_since : t -> snapshot -> int

@@ -1,0 +1,91 @@
+type event =
+  | Send of { at : Sim_time.t; src : Pid.t; dst : Pid.t; component : string; tag : string }
+  | Deliver of { at : Sim_time.t; src : Pid.t; dst : Pid.t; component : string; tag : string }
+  | Drop of {
+      at : Sim_time.t;
+      src : Pid.t;
+      dst : Pid.t;
+      component : string;
+      tag : string;
+      reason : string;
+    }
+  | Crash of { at : Sim_time.t; pid : Pid.t }
+  | Fd_view of {
+      at : Sim_time.t;
+      pid : Pid.t;
+      component : string;
+      suspected : Pid.Set.t;
+      trusted : Pid.t option;
+    }
+  | Propose of { at : Sim_time.t; pid : Pid.t; value : int }
+  | Decide of { at : Sim_time.t; pid : Pid.t; value : int; round : int }
+  | Note of { at : Sim_time.t; pid : Pid.t; tag : string; detail : string }
+
+type t = { mutable rev_events : event list; mutable count : int }
+
+let create () = { rev_events = []; count = 0 }
+
+let record t e =
+  t.rev_events <- e :: t.rev_events;
+  t.count <- t.count + 1
+
+let events t = List.rev t.rev_events
+let length t = t.count
+
+let time_of = function
+  | Send { at; _ }
+  | Deliver { at; _ }
+  | Drop { at; _ }
+  | Crash { at; _ }
+  | Fd_view { at; _ }
+  | Propose { at; _ }
+  | Decide { at; _ }
+  | Note { at; _ } -> at
+
+let pp_trusted ppf = function
+  | None -> Format.fprintf ppf "-"
+  | Some q -> Pid.pp ppf q
+
+let pp_event ppf = function
+  | Send { at; src; dst; component; tag } ->
+    Format.fprintf ppf "[%a] send %a->%a %s/%s" Sim_time.pp at Pid.pp src Pid.pp dst component tag
+  | Deliver { at; src; dst; component; tag } ->
+    Format.fprintf ppf "[%a] deliver %a->%a %s/%s" Sim_time.pp at Pid.pp src Pid.pp dst component
+      tag
+  | Drop { at; src; dst; component; tag; reason } ->
+    Format.fprintf ppf "[%a] drop %a->%a %s/%s (%s)" Sim_time.pp at Pid.pp src Pid.pp dst
+      component tag reason
+  | Crash { at; pid } -> Format.fprintf ppf "[%a] crash %a" Sim_time.pp at Pid.pp pid
+  | Fd_view { at; pid; component; suspected; trusted } ->
+    Format.fprintf ppf "[%a] %a %s: suspected=%a trusted=%a" Sim_time.pp at Pid.pp pid component
+      Pid.pp_set suspected pp_trusted trusted
+  | Propose { at; pid; value } ->
+    Format.fprintf ppf "[%a] %a proposes %d" Sim_time.pp at Pid.pp pid value
+  | Decide { at; pid; value; round } ->
+    Format.fprintf ppf "[%a] %a decides %d (round %d)" Sim_time.pp at Pid.pp pid value round
+  | Note { at; pid; tag; detail } ->
+    Format.fprintf ppf "[%a] %a note %s: %s" Sim_time.pp at Pid.pp pid tag detail
+
+let crashes t =
+  List.filter_map (function Crash { at; pid } -> Some (pid, at) | _ -> None) (events t)
+
+let decisions t =
+  List.filter_map
+    (function Decide { at; pid; value; round } -> Some (pid, value, round, at) | _ -> None)
+    (events t)
+
+let proposals t =
+  List.filter_map (function Propose { pid; value; _ } -> Some (pid, value) | _ -> None) (events t)
+
+let dump t oc =
+  let ppf = Format.formatter_of_out_channel oc in
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_event e) (events t);
+  Format.pp_print_flush ppf ()
+
+let fd_views ~component t =
+  List.filter_map
+    (function
+      | Fd_view { at; pid; component = c; suspected; trusted } when String.equal c component ->
+        Some (at, pid, suspected, trusted)
+      | _ -> None)
+    (events t)

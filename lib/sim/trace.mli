@@ -1,0 +1,56 @@
+(** Run traces.
+
+    The engine and the protocol components append events to a trace as the
+    simulation advances; the {!Spec} library evaluates the paper's
+    completeness / accuracy / leader-election / consensus properties over
+    the finished trace.  Events are kept in order of occurrence. *)
+
+type event =
+  | Send of { at : Sim_time.t; src : Pid.t; dst : Pid.t; component : string; tag : string }
+  | Deliver of { at : Sim_time.t; src : Pid.t; dst : Pid.t; component : string; tag : string }
+  | Drop of {
+      at : Sim_time.t;
+      src : Pid.t;
+      dst : Pid.t;
+      component : string;
+      tag : string;
+      reason : string;
+    }
+  | Crash of { at : Sim_time.t; pid : Pid.t }
+  | Fd_view of {
+      at : Sim_time.t;
+      pid : Pid.t;
+      component : string;
+      suspected : Pid.Set.t;
+      trusted : Pid.t option;
+    }  (** A failure-detector module's output changed. *)
+  | Propose of { at : Sim_time.t; pid : Pid.t; value : int }
+  | Decide of { at : Sim_time.t; pid : Pid.t; value : int; round : int }
+  | Note of { at : Sim_time.t; pid : Pid.t; tag : string; detail : string }
+
+type t
+
+val create : unit -> t
+val record : t -> event -> unit
+val events : t -> event list
+(** In order of occurrence. *)
+
+val length : t -> int
+
+val time_of : event -> Sim_time.t
+val pp_event : Format.formatter -> event -> unit
+
+val crashes : t -> (Pid.t * Sim_time.t) list
+(** All crash events, in order. *)
+
+val decisions : t -> (Pid.t * int * int * Sim_time.t) list
+(** [(pid, value, round, time)] for every decide event, in order. *)
+
+val proposals : t -> (Pid.t * int) list
+
+val fd_views : component:string -> t -> (Sim_time.t * Pid.t * Pid.Set.t * Pid.t option) list
+(** View-change events of one failure-detector component, in order. *)
+
+val dump : t -> out_channel -> unit
+(** Write the whole trace, one pretty-printed event per line — the format
+    of {!pp_event} — for offline inspection or diffing two runs. *)

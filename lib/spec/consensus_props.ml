@@ -1,0 +1,67 @@
+type violation =
+  | No_decision of Sim.Pid.t
+  | Multiple_decisions of Sim.Pid.t
+  | Disagreement of { p : Sim.Pid.t; v : int; q : Sim.Pid.t; w : int }
+  | Invalid_value of { p : Sim.Pid.t; v : int }
+
+let pp_violation ppf = function
+  | No_decision p -> Format.fprintf ppf "correct process %a never decided" Sim.Pid.pp p
+  | Multiple_decisions p -> Format.fprintf ppf "%a decided more than once" Sim.Pid.pp p
+  | Disagreement { p; v; q; w } ->
+    Format.fprintf ppf "%a decided %d but %a decided %d" Sim.Pid.pp p v Sim.Pid.pp q w
+  | Invalid_value { p; v } ->
+    Format.fprintf ppf "%a decided %d, which was never proposed" Sim.Pid.pp p v
+
+let termination trace ~n =
+  let crashed = Sim.Pid.set_of_list (List.map fst (Sim.Trace.crashes trace)) in
+  let deciders =
+    Sim.Pid.set_of_list (List.map (fun (p, _, _, _) -> p) (Sim.Trace.decisions trace))
+  in
+  List.filter_map
+    (fun p ->
+      if Sim.Pid.Set.mem p crashed || Sim.Pid.Set.mem p deciders then None
+      else Some (No_decision p))
+    (Sim.Pid.all ~n)
+
+let uniform_integrity trace =
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun (p, _, _, _) ->
+      Hashtbl.replace counts p (1 + Option.value ~default:0 (Hashtbl.find_opt counts p)))
+    (Sim.Trace.decisions trace);
+  Hashtbl.fold (fun p c acc -> if c > 1 then Multiple_decisions p :: acc else acc) counts []
+
+let uniform_agreement trace =
+  match Sim.Trace.decisions trace with
+  | [] -> []
+  | (p, v, _, _) :: rest ->
+    List.filter_map
+      (fun (q, w, _, _) -> if w <> v then Some (Disagreement { p; v; q; w }) else None)
+      rest
+
+let validity trace =
+  let proposed = List.map snd (Sim.Trace.proposals trace) in
+  List.filter_map
+    (fun (p, v, _, _) -> if List.mem v proposed then None else Some (Invalid_value { p; v }))
+    (Sim.Trace.decisions trace)
+
+let check_safety trace =
+  uniform_integrity trace @ uniform_agreement trace @ validity trace
+
+let check_all trace ~n = termination trace ~n @ check_safety trace
+
+let decision_round trace =
+  List.fold_left
+    (fun acc (_, _, round, _) ->
+      Some (match acc with None -> round | Some r -> Stdlib.max r round))
+    None (Sim.Trace.decisions trace)
+
+let first_decision_time trace =
+  List.fold_left
+    (fun acc (_, _, _, at) -> Some (match acc with None -> at | Some t -> Sim.Sim_time.min t at))
+    None (Sim.Trace.decisions trace)
+
+let last_decision_time trace =
+  List.fold_left
+    (fun acc (_, _, _, at) -> Some (match acc with None -> at | Some t -> Sim.Sim_time.max t at))
+    None (Sim.Trace.decisions trace)

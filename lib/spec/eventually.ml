@@ -1,0 +1,36 @@
+type 'a timeline = (Sim.Sim_time.t * 'a) list
+
+let of_views ~component trace ~pid =
+  List.filter_map
+    (fun (at, p, suspected, trusted) ->
+      if Sim.Pid.equal p pid then Some (at, { Fd.Fd_view.suspected; trusted }) else None)
+    (Sim.Trace.fd_views ~component trace)
+
+let stabilization pred timeline =
+  (* Scan forward, remembering the start of the current all-true suffix. *)
+  let rec scan current = function
+    | [] -> current
+    | (at, v) :: rest ->
+      if pred v then scan (match current with None -> Some at | Some _ -> current) rest
+      else scan None rest
+  in
+  scan None timeline
+
+let holds_eventually pred timeline = Option.is_some (stabilization pred timeline)
+
+let all results =
+  List.fold_left
+    (fun acc r ->
+      match (acc, r) with
+      | Some a, Some b -> Some (Sim.Sim_time.max a b)
+      | _, None | None, _ -> None)
+    (Some Sim.Sim_time.zero) results
+
+let any results =
+  List.fold_left
+    (fun acc r ->
+      match (acc, r) with
+      | Some a, Some b -> Some (Sim.Sim_time.min a b)
+      | Some a, None -> Some a
+      | None, other -> other)
+    None results

@@ -1,0 +1,158 @@
+type report = {
+  holds : bool;
+  since : Sim.Sim_time.t option;
+}
+
+type run = {
+  trace : Sim.Trace.t;
+  component : string;
+  n : int;
+}
+
+let make_run ~component ~n trace = { trace; component; n }
+
+let crashed_set run = Sim.Pid.set_of_list (List.map fst (Sim.Trace.crashes run.trace))
+
+let correct_processes run =
+  let crashed = crashed_set run in
+  List.filter (fun p -> not (Sim.Pid.Set.mem p crashed)) (Sim.Pid.all ~n:run.n)
+
+let crashed_processes run = Sim.Pid.Set.elements (crashed_set run)
+
+let timeline run p = Eventually.of_views ~component:run.component run.trace ~pid:p
+
+let report_of_since since = { holds = Option.is_some since; since }
+
+(* "For every correct observer p, [pred q] stabilizes on p's views", for
+   every q in [targets]; conjunction over all pairs. *)
+let for_all_pairs run ~targets pred =
+  let observers = correct_processes run in
+  Eventually.all
+    (List.concat_map
+       (fun p ->
+         let tl = timeline run p in
+         List.map (fun q -> Eventually.stabilization (pred q) tl) targets)
+       observers)
+
+let suspected_in q (v : Fd.Fd_view.t) = Sim.Pid.Set.mem q v.Fd.Fd_view.suspected
+
+let strong_completeness run =
+  report_of_since (for_all_pairs run ~targets:(crashed_processes run) suspected_in)
+
+let weak_completeness run =
+  let observers = correct_processes run in
+  let per_victim q =
+    Eventually.any
+      (List.map (fun p -> Eventually.stabilization (suspected_in q) (timeline run p)) observers)
+  in
+  report_of_since (Eventually.all (List.map per_victim (crashed_processes run)))
+
+let eventual_strong_accuracy run =
+  let correct = correct_processes run in
+  report_of_since
+    (for_all_pairs run ~targets:correct (fun q v -> not (suspected_in q v)))
+
+let eventual_weak_accuracy run =
+  let correct = correct_processes run in
+  let for_leader l =
+    Eventually.all
+      (List.map
+         (fun p -> Eventually.stabilization (fun v -> not (suspected_in l v)) (timeline run p))
+         correct)
+  in
+  report_of_since (Eventually.any (List.map for_leader correct))
+
+let leadership run =
+  let correct = correct_processes run in
+  let trusts l (v : Fd.Fd_view.t) = Option.equal Sim.Pid.equal v.Fd.Fd_view.trusted (Some l) in
+  let for_leader l =
+    Eventually.all
+      (List.map (fun p -> Eventually.stabilization (trusts l) (timeline run p)) correct)
+  in
+  report_of_since (Eventually.any (List.map for_leader correct))
+
+let trusted_not_suspected run =
+  let coherent (v : Fd.Fd_view.t) =
+    match v.Fd.Fd_view.trusted with
+    | None -> false
+    | Some l -> not (Sim.Pid.Set.mem l v.Fd.Fd_view.suspected)
+  in
+  report_of_since
+    (Eventually.all
+       (List.map
+          (fun p -> Eventually.stabilization coherent (timeline run p))
+          (correct_processes run)))
+
+let check property run =
+  match (property : Fd.Classes.property) with
+  | Strong_completeness -> strong_completeness run
+  | Weak_completeness -> weak_completeness run
+  | Eventual_strong_accuracy -> eventual_strong_accuracy run
+  | Eventual_weak_accuracy -> eventual_weak_accuracy run
+  | Eventual_leadership -> leadership run
+  | Trusted_not_suspected -> trusted_not_suspected run
+
+let satisfies_class cls run =
+  List.for_all (fun p -> (check p run).holds) (Fd.Classes.properties cls)
+
+let class_matrix run = List.map (fun p -> (p, check p run)) Fd.Classes.all_properties
+
+let eventual_leader run =
+  let correct = correct_processes run in
+  let trusts l (v : Fd.Fd_view.t) = Option.equal Sim.Pid.equal v.Fd.Fd_view.trusted (Some l) in
+  List.find_opt
+    (fun l ->
+      List.for_all
+        (fun p -> Eventually.holds_eventually (trusts l) (timeline run p))
+        correct)
+    correct
+
+let detection_time run ~victim =
+  for_all_pairs run ~targets:[ victim ] suspected_in
+
+let trusted_transitions run p =
+  (* [(time, previous trusted, new trusted)] for every switch. *)
+  let rec walk prev acc = function
+    | [] -> List.rev acc
+    | (at, (v : Fd.Fd_view.t)) :: rest ->
+      let cur = v.Fd.Fd_view.trusted in
+      if Option.equal Sim.Pid.equal cur prev then walk prev acc rest
+      else walk cur ((at, prev, cur) :: acc) rest
+  in
+  match timeline run p with
+  | [] -> []
+  | (at0, v0) :: rest -> walk v0.Fd.Fd_view.trusted [ (at0, None, v0.Fd.Fd_view.trusted) ] rest
+
+let leader_changes run p = Stdlib.max 0 (List.length (trusted_transitions run p) - 1)
+
+let leader_changes_after run p ~after =
+  List.length (List.filter (fun (at, _, _) -> at > after) (trusted_transitions run p))
+
+let false_suspicion_events_after run ~after =
+  (* Transitions, at correct observers, where a correct process becomes
+     newly suspected strictly after [after]. *)
+  let correct = correct_processes run in
+  let count_observer p =
+    let rec walk prev acc = function
+      | [] -> acc
+      | (at, (v : Fd.Fd_view.t)) :: rest ->
+        let fresh = Sim.Pid.Set.diff v.Fd.Fd_view.suspected prev in
+        let wrong =
+          Sim.Pid.Set.cardinal (Sim.Pid.Set.filter (fun q -> List.mem q correct) fresh)
+        in
+        walk v.Fd.Fd_view.suspected (if at > after then acc + wrong else acc) rest
+    in
+    walk Sim.Pid.Set.empty 0 (timeline run p)
+  in
+  List.fold_left (fun acc p -> acc + count_observer p) 0 correct
+
+let demotions_of_live_leaders run p =
+  let crash_times = Sim.Trace.crashes run.trace in
+  let alive_at q at =
+    not (List.exists (fun (victim, t) -> Sim.Pid.equal victim q && t <= at) crash_times)
+  in
+  List.length
+    (List.filter
+       (fun (at, prev, _) ->
+         match prev with Some q -> alive_at q at | None -> false)
+       (trusted_transitions run p))

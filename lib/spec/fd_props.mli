@@ -1,0 +1,73 @@
+(** Failure-detector property checkers (the Fig. 1 taxonomy, plus Ω's
+    Property 1 and ◇C's coherence clause), evaluated over a finished run's
+    trace.
+
+    Correct processes are those that never crash in the trace; a property
+    holds if its finite-trace approximation (see {!Eventually}) does.  Each
+    checker reports the stabilization instant, so experiments can also
+    compare {i convergence times} (e.g. the ring's detection latency,
+    experiment E3). *)
+
+type report = {
+  holds : bool;
+  since : Sim.Sim_time.t option;  (** Stabilization instant, when it holds. *)
+}
+
+type run = {
+  trace : Sim.Trace.t;
+  component : string;  (** The detector's component name. *)
+  n : int;
+}
+
+val make_run : component:string -> n:int -> Sim.Trace.t -> run
+
+val correct_processes : run -> Sim.Pid.t list
+val crashed_processes : run -> Sim.Pid.t list
+
+val strong_completeness : run -> report
+val weak_completeness : run -> report
+val eventual_strong_accuracy : run -> report
+val eventual_weak_accuracy : run -> report
+
+val leadership : run -> report
+(** Ω's Property 1: eventually every correct process permanently trusts the
+    same correct process. *)
+
+val trusted_not_suspected : run -> report
+(** Definition 1's third clause. *)
+
+val check : Fd.Classes.property -> run -> report
+
+val satisfies_class : Fd.Classes.t -> run -> bool
+(** All the class's defining properties hold on the run. *)
+
+val class_matrix : run -> (Fd.Classes.property * report) list
+(** Every property with its report — one row of the E1 matrix. *)
+
+val eventual_leader : run -> Sim.Pid.t option
+(** The common leader once {!leadership} holds. *)
+
+val detection_time : run -> victim:Sim.Pid.t -> Sim.Sim_time.t option
+(** Instant from which {b every} correct process permanently suspects
+    [victim] (crash-detection latency numerator for E3). *)
+
+val leader_changes : run -> Sim.Pid.t -> int
+(** How many times the process's trusted output switched to a different
+    process over the run — the instability that {i stable} leader election
+    [2] minimises (experiment E11). *)
+
+val leader_changes_after : run -> Sim.Pid.t -> after:Sim.Sim_time.t -> int
+(** Trusted-output switches strictly after the given instant — non-zero
+    deep into a run means leadership never settled (robust against the
+    finite-trace "eventually" being fooled by a quiet final stretch). *)
+
+val false_suspicion_events_after : run -> after:Sim.Sim_time.t -> int
+(** Fresh suspicions of correct processes by correct processes strictly
+    after the given instant, summed over all observers.  Non-zero deep into
+    a run means eventual strong accuracy never settled (robust against a
+    horizon that happens to land in a calm stretch). *)
+
+val demotions_of_live_leaders : run -> Sim.Pid.t -> int
+(** Among those changes, how many demoted a process that had {b not}
+    crashed by the time of the change.  A stable Ω keeps this near zero
+    once the system calms down. *)

@@ -1,0 +1,31 @@
+module Pair = struct
+  type t = Sim.Pid.t * Sim.Pid.t
+
+  let compare = compare
+end
+
+module Pair_set = Set.Make (Pair)
+
+let active_links trace ~components ~from_t ~to_t =
+  List.fold_left
+    (fun acc event ->
+      match event with
+      | Sim.Trace.Send { at; src; dst; component; _ }
+        when at >= from_t && at <= to_t && List.mem component components ->
+        Pair_set.add (src, dst) acc
+      | _ -> acc)
+    Pair_set.empty (Sim.Trace.events trace)
+  |> Pair_set.elements
+
+let star_of ~leader ~n =
+  List.concat_map
+    (fun q -> if Sim.Pid.equal q leader then [] else [ (q, leader); (leader, q) ])
+    (Sim.Pid.all ~n)
+  |> List.sort compare
+
+let pp_links ppf links =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf (s, d) -> Format.fprintf ppf "%a>%a" Sim.Pid.pp s Sim.Pid.pp d))
+    links

@@ -1,0 +1,21 @@
+(** Which directed links actually carry messages — for the paper's
+    quiescence claim (Section 4): in the ◇C → ◇P transformation,
+    "eventually only these links carry messages", namely the n-1 links into
+    the leader (I-AM-ALIVE) and the n-1 links out of it (suspect lists /
+    piggybacked heartbeats).  Experiment E14 measures the active-link set
+    of a steady-state window and compares it with that star. *)
+
+val active_links :
+  Sim.Trace.t ->
+  components:string list ->
+  from_t:Sim.Sim_time.t ->
+  to_t:Sim.Sim_time.t ->
+  (Sim.Pid.t * Sim.Pid.t) list
+(** Distinct (src, dst) pairs with at least one [Send] of one of the
+    components inside the window, sorted. *)
+
+val star_of : leader:Sim.Pid.t -> n:int -> (Sim.Pid.t * Sim.Pid.t) list
+(** The 2(n-1) links of the leader's star: everyone to the leader and the
+    leader to everyone, sorted. *)
+
+val pp_links : Format.formatter -> (Sim.Pid.t * Sim.Pid.t) list -> unit

@@ -1,0 +1,22 @@
+(** ASCII timelines of a finished run — one row per process, one column per
+    time slice.  The quickest way to {i see} a detector stabilise, a leader
+    fail over, or a consensus round stall (wired into the CLI's
+    [--timeline] flag).
+
+    Leadership view: each cell shows whom the process trusted during the
+    slice — [*] itself, [1]..[9]/[a]..[z] another process (1-based), [.]
+    nobody, [x] crashed, [?] mixed (the output changed inside the slice).
+
+    Suspicion view: each cell counts the processes suspected during the
+    slice ([0]-[9], [+] for more), same [x]/[?] conventions.
+
+    Decision view (consensus): [.] undecided, [p] proposed, [D] decided,
+    [x] crashed. *)
+
+val render_leadership : ?width:int -> Fd_props.run -> horizon:Sim.Sim_time.t -> string
+val render_suspicions : ?width:int -> Fd_props.run -> horizon:Sim.Sim_time.t -> string
+
+val render_decisions :
+  ?width:int -> Sim.Trace.t -> n:int -> horizon:Sim.Sim_time.t -> string
+
+val legend : string

@@ -1,0 +1,133 @@
+(* Tests of non-blocking atomic commitment over consensus (Guerraoui [10],
+   the context of the paper's Section 5.1). *)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+type detector_choice =
+  | Oracle  (** Perfect: NBAC's exact non-triviality. *)
+  | Transformed  (** The ◇P produced by the paper's Fig. 2 transformation. *)
+  | Noisy of Sim.Pid.t  (** A scripted detector wrongly suspecting one process. *)
+
+let run_commit ?(n = 5) ?(seed = 1) ?(crashes = Sim.Fault.none) ?(detector = Oracle)
+    ~votes () =
+  let engine = Scenario.engine ~net:{ Scenario.default_net with seed } ~n () in
+  Sim.Fault.apply engine crashes;
+  let fd =
+    match detector with
+    | Oracle -> Fd.Oracle_p.install engine ~schedule:crashes Fd.Oracle_p.default_params
+    | Transformed ->
+      (* Its own component namespace: the commit's consensus stack below
+         also uses a leader detector. *)
+      let base =
+        Fd.Leader_s.install ~component:"fd.leader-s.nbac" engine Fd.Leader_s.default_params
+      in
+      let ec = Ecfd.Ec.of_leader_s base ~engine in
+      Ecfd.Ec_to_p.install engine ~underlying:ec Ecfd.Ec_to_p.default_params
+    | Noisy victim ->
+      Fd.Scripted.install engine
+        ~initial:(fun _ -> Fd.Fd_view.make ~suspected:(Sim.Pid.set_of_list [ victim ]) ())
+        ~steps:[] ()
+  in
+  (* The commit's consensus runs on the paper's algorithm over its own ◇C
+     stack (independent of the vote-collection detector). *)
+  let cfd = Scenario.install_detector engine Scenario.Ec_from_leader in
+  let rb = Broadcast.Reliable_broadcast.create engine in
+  let consensus = Ecfd.Ec_consensus.install engine ~fd:cfd ~rb Ecfd.Ec_consensus.default_params in
+  let nbac = Consensus.Atomic_commit.create engine ~fd ~consensus () in
+  (* Votes are cast at t=2, after any t<=1 crash has taken effect — a
+     participant dead by then never votes. *)
+  List.iter
+    (fun p ->
+      Sim.Engine.at engine 2 (fun () ->
+          if Sim.Engine.is_alive engine p then Consensus.Atomic_commit.vote nbac p (votes p)))
+    (Sim.Pid.all ~n);
+  Sim.Engine.run_until engine 10_000;
+  (engine, nbac)
+
+let outcomes engine nbac =
+  List.filter_map
+    (fun p ->
+      if Sim.Engine.is_alive engine p then Consensus.Atomic_commit.outcome nbac p else None)
+    (Sim.Pid.all ~n:(Sim.Engine.n engine))
+
+let all_equal = function [] -> true | x :: rest -> List.for_all (( = ) x) rest
+
+let nbac_tests =
+  [
+    tc "all Yes, no crash, perfect detector: Commit" (fun () ->
+        let engine, nbac = run_commit ~votes:(fun _ -> Consensus.Atomic_commit.Yes) () in
+        let os = outcomes engine nbac in
+        Alcotest.(check int) "everyone decided" 5 (List.length os);
+        Alcotest.(check bool) "all commit" true
+          (List.for_all (( = ) Consensus.Atomic_commit.Commit) os));
+    tc "a single No forces Abort" (fun () ->
+        let engine, nbac =
+          run_commit
+            ~votes:(fun p -> if p = 3 then Consensus.Atomic_commit.No else Consensus.Atomic_commit.Yes)
+            ()
+        in
+        let os = outcomes engine nbac in
+        Alcotest.(check bool) "all abort" true
+          (List.for_all (( = ) Consensus.Atomic_commit.Abort) os && os <> []));
+    tc "a crashed participant forces Abort (perfect detector)" (fun () ->
+        let engine, nbac =
+          run_commit
+            ~crashes:(Sim.Fault.crash 2 ~at:1)
+            ~votes:(fun _ -> Consensus.Atomic_commit.Yes)
+            ()
+        in
+        let os = outcomes engine nbac in
+        Alcotest.(check bool) "agreed" true (all_equal os && os <> []);
+        Alcotest.(check bool) "abort" true (List.hd os = Consensus.Atomic_commit.Abort));
+    tc "crash after voting may still Commit — but uniformly" (fun () ->
+        (* p3 votes Yes then dies: if its vote got through before the
+           oracle's report, Commit is legal; either way, agreement. *)
+        let engine, nbac =
+          run_commit
+            ~crashes:(Sim.Fault.crash 2 ~at:4)
+            ~votes:(fun _ -> Consensus.Atomic_commit.Yes)
+            ()
+        in
+        let os = outcomes engine nbac in
+        Alcotest.(check bool) "non-empty and agreed" true (os <> [] && all_equal os));
+    tc "over the Fig. 2 transformation: still uniform, decided by all" (fun () ->
+        let engine, nbac =
+          run_commit ~detector:Transformed ~crashes:(Sim.Fault.crash 4 ~at:50)
+            ~votes:(fun _ -> Consensus.Atomic_commit.Yes)
+            ()
+        in
+        let os = outcomes engine nbac in
+        Alcotest.(check bool) "everyone decided" true
+          (Consensus.Atomic_commit.decided_all_correct nbac);
+        Alcotest.(check bool) "agreed" true (all_equal os));
+    tc "false suspicion can only cost a gratuitous Abort, never disagreement" (fun () ->
+        (* All vote Yes, nobody crashes, but the detector wrongly suspects
+           p2: the outcome may be Abort (the <>P caveat the interface
+           documents) yet must be common. *)
+        let engine, nbac =
+          run_commit ~detector:(Noisy 1) ~votes:(fun _ -> Consensus.Atomic_commit.Yes) ()
+        in
+        let os = outcomes engine nbac in
+        Alcotest.(check bool) "agreed" true (all_equal os && os <> []));
+    Test_util.qcheck ~count:20 ~name:"NBAC agreement + vote-validity on random runs"
+      QCheck2.Gen.(tup3 (int_range 3 7) (int_range 0 10_000) (list_size (int_range 0 7) bool))
+      (fun (n, seed, noes) ->
+        let rng = Sim.Rng.create ~seed in
+        let crashes = Sim.Fault.random_minority rng ~n ~latest:100 in
+        let votes p =
+          if List.nth_opt noes p = Some true then Consensus.Atomic_commit.No
+          else Consensus.Atomic_commit.Yes
+        in
+        let engine, nbac = run_commit ~n ~seed ~crashes ~votes () in
+        let os = outcomes engine nbac in
+        let someone_voted_no =
+          List.exists (fun p -> votes p = Consensus.Atomic_commit.No) (Sim.Pid.all ~n)
+        in
+        (* agreement; and commit-validity: Commit implies nobody voted No. *)
+        all_equal os
+        && (os = []
+           || List.hd os = Consensus.Atomic_commit.Abort
+           || not someone_voted_no));
+  ]
+
+let suites = [ ("consensus.nbac", nbac_tests) ]

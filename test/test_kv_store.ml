@@ -1,0 +1,151 @@
+(* Tests of the replicated key-value store (state-machine replication over
+   total-order broadcast over repeated ◇C consensus). *)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+module Kv = Consensus.Kv_store
+
+let make_store ?(n = 5) ?(seed = 1) ?(crashes = Sim.Fault.none) ?(max_slots = 24) () =
+  let engine = Scenario.engine ~net:{ Scenario.default_net with seed } ~n () in
+  Sim.Fault.apply engine crashes;
+  let fd = Scenario.install_detector engine Scenario.Ec_from_leader in
+  let make_instance ~slot =
+    let suffix = Printf.sprintf ".slot%d" slot in
+    let rb =
+      Broadcast.Reliable_broadcast.create
+        ~component:(Broadcast.Reliable_broadcast.default_component ^ suffix)
+        engine
+    in
+    Ecfd.Ec_consensus.install
+      ~component:(Ecfd.Ec_consensus.component ^ suffix)
+      engine ~fd ~rb Ecfd.Ec_consensus.default_params
+  in
+  let store = Kv.create ~max_slots engine ~make_instance () in
+  (engine, store)
+
+let correct engine =
+  List.filter (Sim.Engine.is_alive engine) (Sim.Pid.all ~n:(Sim.Engine.n engine))
+
+let check_convergence what engine store =
+  match correct engine with
+  | [] -> Alcotest.fail (what ^ ": nobody alive")
+  | first :: rest ->
+    let reference = Kv.entries store first in
+    List.iter
+      (fun p ->
+        Alcotest.(check (list (pair int int)))
+          (Printf.sprintf "%s: %s agrees with %s" what (Sim.Pid.to_string p)
+             (Sim.Pid.to_string first))
+          reference (Kv.entries store p))
+      rest;
+    reference
+
+let encoding_tests =
+  [
+    tc "encode/decode round-trips" (fun () ->
+        List.iter
+          (fun c ->
+            Alcotest.(check bool)
+              (Format.asprintf "%a" Kv.pp_command c)
+              true
+              (Kv.decode (Kv.encode c) = Some c))
+          [
+            Kv.Set { key = 0; value = 0 };
+            Kv.Set { key = 1023; value = (1 lsl 20) - 1 };
+            Kv.Delete { key = 512 };
+            Kv.Add { key = 7; delta = -42 };
+            Kv.Add { key = 7; delta = 42 };
+            Kv.Add { key = 0; delta = -(1 lsl 19) + 1 };
+          ]);
+    tc "out-of-range commands are rejected" (fun () ->
+        List.iter
+          (fun c ->
+            Alcotest.(check bool) "raises" true
+              (try
+                 ignore (Kv.encode c);
+                 false
+               with Invalid_argument _ -> true))
+          [
+            Kv.Set { key = 1024; value = 0 };
+            Kv.Set { key = -1; value = 0 };
+            Kv.Set { key = 0; value = 1 lsl 20 };
+            Kv.Add { key = 0; delta = 1 lsl 19 };
+          ]);
+    tc "decode rejects garbage" (fun () ->
+        Alcotest.(check bool) "negative" true (Kv.decode (-5) = None);
+        (* tag 3 is unused *)
+        Alcotest.(check bool) "bad tag" true (Kv.decode (3 * 1024 * (1 lsl 20)) = None));
+  ]
+
+let store_tests =
+  [
+    tc "replicas converge on a mixed workload" (fun () ->
+        let engine, store = make_store () in
+        let at t f = Sim.Engine.at engine t f in
+        at 0 (fun () -> Kv.submit store ~src:0 (Kv.Set { key = 1; value = 10 }));
+        at 5 (fun () -> Kv.submit store ~src:1 (Kv.Set { key = 2; value = 20 }));
+        at 10 (fun () -> Kv.submit store ~src:2 (Kv.Add { key = 1; delta = 5 }));
+        at 15 (fun () -> Kv.submit store ~src:3 (Kv.Delete { key = 2 }));
+        at 20 (fun () -> Kv.submit store ~src:4 (Kv.Set { key = 3; value = 30 }));
+        Sim.Engine.run_until engine 20_000;
+        let state = check_convergence "mixed" engine store in
+        (* All five commands applied everywhere. *)
+        List.iter
+          (fun p -> Alcotest.(check int) "applied" 5 (Kv.applied store p))
+          (correct engine);
+        (* k2 was deleted; k1 ended as 10+5 unless the Add was ordered first
+           (then 0+5 then set 10 — order decides, but it is one order). *)
+        Alcotest.(check bool) "k2 gone" true (not (List.mem_assoc 2 state)));
+    tc "concurrent increments are linearised: the total always sums" (fun () ->
+        let engine, store = make_store ~seed:7 () in
+        (* Five replicas all increment the same counter at the same instant:
+           no update may be lost. *)
+        List.iter
+          (fun src ->
+            Sim.Engine.at engine 3 (fun () ->
+                Kv.submit store ~src (Kv.Add { key = 9; delta = 1 + src })))
+          (Sim.Pid.all ~n:5);
+        Sim.Engine.run_until engine 20_000;
+        let _ = check_convergence "increments" engine store in
+        Alcotest.(check (option int)) "sum 1+2+3+4+5" (Some 15) (Kv.get store 0 ~key:9));
+    tc "a crashing replica cannot fork the store" (fun () ->
+        let engine, store = make_store ~crashes:(Sim.Fault.crash 1 ~at:50) () in
+        Sim.Engine.at engine 5 (fun () -> Kv.submit store ~src:1 (Kv.Set { key = 1; value = 1 }));
+        Sim.Engine.at engine 45 (fun () -> Kv.submit store ~src:1 (Kv.Set { key = 1; value = 2 }));
+        Sim.Engine.at engine 60 (fun () -> Kv.submit store ~src:0 (Kv.Add { key = 1; delta = 10 }));
+        Sim.Engine.run_until engine 20_000;
+        let _ = check_convergence "crash" engine store in
+        (* Whatever subset of p2's writes survived, every live replica
+           applied the same log. *)
+        let logs = List.map (fun p -> Kv.log store p) (correct engine) in
+        Alcotest.(check bool) "same logs" true
+          (List.for_all (( = ) (List.hd logs)) logs));
+    Test_util.qcheck ~count:8 ~name:"random workloads always converge"
+      QCheck2.Gen.(tup2 (int_range 3 6) (int_range 0 10_000))
+      (fun (n, seed) ->
+        let rng = Sim.Rng.create ~seed in
+        let crashes = Sim.Fault.random_minority rng ~n ~latest:200 in
+        let engine, store = make_store ~n ~seed ~crashes ~max_slots:16 () in
+        for i = 0 to 7 do
+          let src = Sim.Rng.int rng ~bound:n in
+          let at = Sim.Rng.int rng ~bound:300 in
+          let command =
+            match i mod 3 with
+            | 0 -> Kv.Set { key = Sim.Rng.int rng ~bound:4; value = i }
+            | 1 -> Kv.Add { key = Sim.Rng.int rng ~bound:4; delta = 1 }
+            | _ -> Kv.Delete { key = Sim.Rng.int rng ~bound:4 }
+          in
+          Sim.Engine.at engine at (fun () ->
+              if Sim.Engine.is_alive engine src then Kv.submit store ~src command)
+        done;
+        Sim.Engine.run_until engine 30_000;
+        match correct engine with
+        | [] -> true
+        | first :: rest ->
+          List.for_all
+            (fun p ->
+              Kv.entries store p = Kv.entries store first && Kv.log store p = Kv.log store first)
+            rest);
+  ]
+
+let suites = [ ("consensus.kv.encoding", encoding_tests); ("consensus.kv.store", store_tests) ]

@@ -1,0 +1,524 @@
+(* Unit and property tests of the simulation substrate. *)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ *)
+(* Pid                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let pid_tests =
+  [
+    tc "all" (fun () -> Alcotest.(check (list int)) "all 4" [ 0; 1; 2; 3 ] (Sim.Pid.all ~n:4));
+    tc "others" (fun () ->
+        Alcotest.(check (list int)) "others" [ 0; 2; 3 ] (Sim.Pid.others ~n:4 1));
+    tc "ring successor wraps" (fun () ->
+        Alcotest.(check int) "succ p4" 0 (Sim.Pid.next_in_ring ~n:4 3);
+        Alcotest.(check int) "succ p1" 1 (Sim.Pid.next_in_ring ~n:4 0));
+    tc "ring predecessor wraps" (fun () ->
+        Alcotest.(check int) "pred p1" 3 (Sim.Pid.prev_in_ring ~n:4 0);
+        Alcotest.(check int) "pred p3" 1 (Sim.Pid.prev_in_ring ~n:4 2));
+    tc "pretty-printing is 1-based" (fun () ->
+        Alcotest.(check string) "p1" "p1" (Sim.Pid.to_string 0);
+        Alcotest.(check string) "set"
+          "{p1, p3}"
+          (Format.asprintf "%a" Sim.Pid.pp_set (Sim.Pid.set_of_list [ 2; 0 ])));
+    tc "is_valid" (fun () ->
+        Alcotest.(check bool) "0 ok" true (Sim.Pid.is_valid ~n:3 0);
+        Alcotest.(check bool) "3 bad" false (Sim.Pid.is_valid ~n:3 3);
+        Alcotest.(check bool) "-1 bad" false (Sim.Pid.is_valid ~n:3 (-1)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let rng_tests =
+  [
+    tc "determinism: same seed, same stream" (fun () ->
+        let a = Sim.Rng.create ~seed:42 and b = Sim.Rng.create ~seed:42 in
+        for _ = 1 to 100 do
+          Alcotest.(check int64) "same" (Sim.Rng.next_int64 a) (Sim.Rng.next_int64 b)
+        done);
+    tc "different seeds differ" (fun () ->
+        let a = Sim.Rng.create ~seed:1 and b = Sim.Rng.create ~seed:2 in
+        Alcotest.(check bool) "differ" true (Sim.Rng.next_int64 a <> Sim.Rng.next_int64 b));
+    tc "int is never negative (62-bit regression)" (fun () ->
+        (* A 63-bit truncation bug once produced negative delays. *)
+        let r = Sim.Rng.create ~seed:7 in
+        for _ = 1 to 10_000 do
+          let v = Sim.Rng.int r ~bound:1_000_000 in
+          if v < 0 then Alcotest.failf "negative sample %d" v
+        done);
+    Test_util.qcheck ~count:200 ~name:"int_in_range stays in range"
+      QCheck2.Gen.(tup2 (int_range (-1000) 1000) (int_range (-1000) 1000))
+      (fun (a, b) ->
+        let lo = min a b and hi = max a b in
+        let r = Sim.Rng.create ~seed:(abs (a + (b * 1009))) in
+        let v = Sim.Rng.int_in_range r ~lo ~hi in
+        v >= lo && v <= hi);
+    tc "float in [0,1)" (fun () ->
+        let r = Sim.Rng.create ~seed:3 in
+        for _ = 1 to 1000 do
+          let f = Sim.Rng.float r in
+          if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of range %f" f
+        done);
+    tc "bool respects extreme probabilities" (fun () ->
+        let r = Sim.Rng.create ~seed:4 in
+        for _ = 1 to 100 do
+          Alcotest.(check bool) "p=0" false (Sim.Rng.bool r ~p:0.0)
+        done;
+        let hits = ref 0 in
+        for _ = 1 to 1000 do
+          if Sim.Rng.bool r ~p:0.9 then incr hits
+        done;
+        Alcotest.(check bool) "p=0.9 mostly true" true (!hits > 800));
+    tc "split yields an independent stream" (fun () ->
+        let a = Sim.Rng.create ~seed:5 in
+        let b = Sim.Rng.split a in
+        let xs = List.init 10 (fun _ -> Sim.Rng.next_int64 a) in
+        let ys = List.init 10 (fun _ -> Sim.Rng.next_int64 b) in
+        Alcotest.(check bool) "streams differ" true (xs <> ys));
+    tc "shuffle is a permutation" (fun () ->
+        let r = Sim.Rng.create ~seed:6 in
+        let a = Array.init 50 Fun.id in
+        Sim.Rng.shuffle r a;
+        let sorted = Array.copy a in
+        Array.sort compare sorted;
+        Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted);
+    tc "choose picks a member" (fun () ->
+        let r = Sim.Rng.create ~seed:8 in
+        for _ = 1 to 100 do
+          let x = Sim.Rng.choose r [ 1; 2; 3 ] in
+          Alcotest.(check bool) "member" true (List.mem x [ 1; 2; 3 ])
+        done);
+    tc "choose on empty list raises" (fun () ->
+        let r = Sim.Rng.create ~seed:9 in
+        Alcotest.check_raises "empty" (Invalid_argument "Rng.choose: empty list") (fun () ->
+            ignore (Sim.Rng.choose r [])));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Heap & Event_queue                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let heap_tests =
+  [
+    tc "empty heap" (fun () ->
+        let h = Sim.Heap.create ~cmp:Int.compare in
+        Alcotest.(check bool) "is_empty" true (Sim.Heap.is_empty h);
+        Alcotest.(check (option int)) "peek" None (Sim.Heap.peek h);
+        Alcotest.(check (option int)) "pop" None (Sim.Heap.pop h));
+    tc "peek does not remove" (fun () ->
+        let h = Sim.Heap.create ~cmp:Int.compare in
+        Sim.Heap.push h 5;
+        Alcotest.(check (option int)) "peek" (Some 5) (Sim.Heap.peek h);
+        Alcotest.(check int) "length" 1 (Sim.Heap.length h));
+    tc "clear" (fun () ->
+        let h = Sim.Heap.create ~cmp:Int.compare in
+        List.iter (Sim.Heap.push h) [ 3; 1; 2 ];
+        Sim.Heap.clear h;
+        Alcotest.(check bool) "empty" true (Sim.Heap.is_empty h));
+    Test_util.qcheck ~count:200 ~name:"heap sorts any list"
+      QCheck2.Gen.(list_size (int_range 0 200) int)
+      (fun xs ->
+        let h = Sim.Heap.create ~cmp:Int.compare in
+        List.iter (Sim.Heap.push h) xs;
+        let rec drain acc =
+          match Sim.Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+        in
+        drain [] = List.sort compare xs);
+    Test_util.qcheck ~count:100 ~name:"interleaved push/pop keeps order"
+      QCheck2.Gen.(list_size (int_range 0 100) (option (int_range 0 1000)))
+      (fun ops ->
+        (* Some x = push x; None = pop.  Compare against a sorted-list model. *)
+        let h = Sim.Heap.create ~cmp:Int.compare in
+        let model = ref [] in
+        List.for_all
+          (fun op ->
+            match op with
+            | Some x ->
+              Sim.Heap.push h x;
+              model := List.sort compare (x :: !model);
+              true
+            | None -> (
+              match (Sim.Heap.pop h, !model) with
+              | None, [] -> true
+              | Some x, y :: rest ->
+                model := rest;
+                x = y
+              | Some _, [] | None, _ :: _ -> false))
+          ops);
+  ]
+
+let event_queue_tests =
+  [
+    tc "pops by time" (fun () ->
+        let q = Sim.Event_queue.create () in
+        Sim.Event_queue.schedule q ~at:5 "b";
+        Sim.Event_queue.schedule q ~at:1 "a";
+        Sim.Event_queue.schedule q ~at:9 "c";
+        Alcotest.(check (option (pair int string))) "a" (Some (1, "a")) (Sim.Event_queue.pop q);
+        Alcotest.(check (option (pair int string))) "b" (Some (5, "b")) (Sim.Event_queue.pop q);
+        Alcotest.(check (option (pair int string))) "c" (Some (9, "c")) (Sim.Event_queue.pop q));
+    tc "same-instant events fire in scheduling order" (fun () ->
+        let q = Sim.Event_queue.create () in
+        List.iter (fun s -> Sim.Event_queue.schedule q ~at:3 s) [ "x"; "y"; "z" ];
+        let order =
+          List.init 3 (fun _ -> snd (Option.get (Sim.Event_queue.pop q)))
+        in
+        Alcotest.(check (list string)) "fifo" [ "x"; "y"; "z" ] order);
+    tc "next_time" (fun () ->
+        let q = Sim.Event_queue.create () in
+        Alcotest.(check (option int)) "empty" None (Sim.Event_queue.next_time q);
+        Sim.Event_queue.schedule q ~at:7 ();
+        Alcotest.(check (option int)) "7" (Some 7) (Sim.Event_queue.next_time q));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Link                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let deliver_time link ~now =
+  let rng = Sim.Rng.create ~seed:11 in
+  match link.Sim.Link.fate ~rng ~now ~src:0 ~dst:1 with
+  | Sim.Link.Drop -> None
+  | Sim.Link.Deliver_at t -> Some t
+
+let link_tests =
+  [
+    tc "synchronous has a fixed delay" (fun () ->
+        let l = Sim.Link.synchronous ~delay:4 in
+        Alcotest.(check (option int)) "now+4" (Some 14) (deliver_time l ~now:10));
+    Test_util.qcheck ~count:300 ~name:"reliable delay within bounds"
+      QCheck2.Gen.(tup2 (int_range 0 1000) (int_range 0 100))
+      (fun (now, s) ->
+        let l = Sim.Link.reliable ~min_delay:2 ~max_delay:9 () in
+        let rng = Sim.Rng.create ~seed:s in
+        match l.Sim.Link.fate ~rng ~now ~src:0 ~dst:1 with
+        | Sim.Link.Drop -> false
+        | Sim.Link.Deliver_at t -> t >= now + 2 && t <= now + 9);
+    Test_util.qcheck ~count:500 ~name:"partial synchrony: DLS bound max(send,gst)+delta"
+      QCheck2.Gen.(tup3 (int_range 0 2000) (int_range 0 1000) (int_range 0 1000))
+      (fun (now, gst, s) ->
+        let delta = 10 in
+        let l = Sim.Link.partially_synchronous ~gst ~delta () in
+        let rng = Sim.Rng.create ~seed:s in
+        match l.Sim.Link.fate ~rng ~now ~src:0 ~dst:1 with
+        | Sim.Link.Drop -> false
+        | Sim.Link.Deliver_at t -> t > now && t <= max now gst + delta);
+    tc "fair-lossy with p=0 never drops" (fun () ->
+        let l =
+          Sim.Link.fair_lossy ~drop_probability:0.0 ~underlying:(Sim.Link.synchronous ~delay:1)
+        in
+        for now = 0 to 200 do
+          if deliver_time l ~now = None then Alcotest.fail "dropped"
+        done);
+    tc "fair-lossy drops roughly p" (fun () ->
+        let l =
+          Sim.Link.fair_lossy ~drop_probability:0.5 ~underlying:(Sim.Link.synchronous ~delay:1)
+        in
+        let rng = Sim.Rng.create ~seed:21 in
+        let drops = ref 0 in
+        for _ = 1 to 2000 do
+          match l.Sim.Link.fate ~rng ~now:0 ~src:0 ~dst:1 with
+          | Sim.Link.Drop -> incr drops
+          | Sim.Link.Deliver_at _ -> ()
+        done;
+        Alcotest.(check bool) "between 40% and 60%" true (!drops > 800 && !drops < 1200));
+    tc "never drops everything" (fun () ->
+        Alcotest.(check (option int)) "drop" None (deliver_time Sim.Link.never ~now:0));
+    tc "ever_slower: latency grows with the clock, but every message arrives" (fun () ->
+        let l = Sim.Link.ever_slower ~slowdown_divisor:4 () in
+        let d t = Option.get (deliver_time l ~now:t) - t in
+        Alcotest.(check bool) "early cheap" true (d 0 < 10);
+        Alcotest.(check bool) "late expensive" true (d 10_000 >= 2500);
+        Alcotest.(check bool) "ever later" true (d 100_000 > d 10_000));
+    tc "growing_blackouts: open windows deliver fast, blackouts drop" (fun () ->
+        let l =
+          Sim.Link.growing_blackouts ~min_delay:1 ~max_delay:4 ~open_window:50
+            ~initial_blackout:50 ~blackout_growth:50 ()
+        in
+        (* cycle 0: open [0,50), blackout [50,100); cycle 1: open [100,150),
+           blackout [150,250) ... *)
+        Alcotest.(check bool) "open at 10" true (deliver_time l ~now:10 <> None);
+        Alcotest.(check (option int)) "blackout at 60" None (deliver_time l ~now:60);
+        Alcotest.(check bool) "open again at 110" true (deliver_time l ~now:110 <> None);
+        Alcotest.(check (option int)) "longer blackout at 200" None (deliver_time l ~now:200));
+    tc "growing_blackouts: fairness — open windows recur forever" (fun () ->
+        let l = Sim.Link.growing_blackouts () in
+        (* Scan far ahead: there must still be delivery instants. *)
+        let found = ref false in
+        let t = ref 100_000 in
+        while (not !found) && !t < 200_000 do
+          if deliver_time l ~now:!t <> None then found := true;
+          t := !t + 13
+        done;
+        Alcotest.(check bool) "delivery possible late in the run" true !found);
+    tc "route dispatches per pair" (fun () ->
+        let l =
+          Sim.Link.route ~describe:"test" (fun ~src ~dst:_ ->
+              if src = 0 then Sim.Link.synchronous ~delay:1 else Sim.Link.synchronous ~delay:5)
+        in
+        let rng = Sim.Rng.create ~seed:1 in
+        let t01 =
+          match l.Sim.Link.fate ~rng ~now:0 ~src:0 ~dst:1 with
+          | Sim.Link.Deliver_at t -> t
+          | Sim.Link.Drop -> -1
+        in
+        let t10 =
+          match l.Sim.Link.fate ~rng ~now:0 ~src:1 ~dst:0 with
+          | Sim.Link.Deliver_at t -> t
+          | Sim.Link.Drop -> -1
+        in
+        Alcotest.(check int) "fast" 1 t01;
+        Alcotest.(check int) "slow" 5 t10);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type Sim.Payload.t += Ping of int
+
+let mk_engine ?(seed = 0) ?(n = 3) ?(delay = 2) () =
+  Sim.Engine.create ~seed ~n ~link:(Sim.Link.synchronous ~delay) ()
+
+let engine_tests =
+  [
+    tc "message delivery calls the handler with src and payload" (fun () ->
+        let e = mk_engine () in
+        let got = ref [] in
+        Sim.Engine.register e ~component:"t" 1 (fun ~src payload ->
+            match payload with Ping k -> got := (src, k) :: !got | _ -> ());
+        Sim.Engine.send e ~component:"t" ~tag:"ping" ~src:0 ~dst:1 (Ping 7);
+        Sim.Engine.run_until e 10;
+        Alcotest.(check (list (pair int int))) "one delivery" [ (0, 7) ] !got);
+    tc "self-send is local, instant and uncounted" (fun () ->
+        let e = mk_engine () in
+        let got = ref 0 in
+        Sim.Engine.register e ~component:"t" 0 (fun ~src:_ _ -> incr got);
+        Sim.Engine.send e ~component:"t" ~tag:"ping" ~src:0 ~dst:0 (Ping 1);
+        Sim.Engine.run_until e 0;
+        Alcotest.(check int) "delivered at t=0" 1 !got;
+        Alcotest.(check int) "not counted" 0
+          (Sim.Stats.component_counts (Sim.Engine.stats e) ~component:"t").Sim.Stats.sent);
+    tc "timers fire at the right instant" (fun () ->
+        let e = mk_engine () in
+        let fired = ref (-1) in
+        ignore (Sim.Engine.set_timer e 0 ~delay:5 (fun () -> fired := Sim.Engine.now e));
+        Sim.Engine.run_until e 4;
+        Alcotest.(check int) "not yet" (-1) !fired;
+        Sim.Engine.run_until e 5;
+        Alcotest.(check int) "at 5" 5 !fired);
+    tc "cancelled timers do not fire" (fun () ->
+        let e = mk_engine () in
+        let fired = ref false in
+        let t = Sim.Engine.set_timer e 0 ~delay:5 (fun () -> fired := true) in
+        Sim.Engine.cancel_timer e t;
+        Sim.Engine.run_until e 10;
+        Alcotest.(check bool) "silent" false !fired);
+    tc "every: periodic until stopped" (fun () ->
+        let e = mk_engine () in
+        let count = ref 0 in
+        let stop = Sim.Engine.every e 0 ~phase:0 ~period:10 (fun () -> incr count) in
+        Sim.Engine.run_until e 35;
+        Alcotest.(check int) "4 firings (0,10,20,30)" 4 !count;
+        stop ();
+        Sim.Engine.run_until e 100;
+        Alcotest.(check int) "no more" 4 !count);
+    tc "crash stops timers, handlers and sends" (fun () ->
+        let e = mk_engine () in
+        let count = ref 0 in
+        ignore (Sim.Engine.every e 0 ~phase:0 ~period:10 (fun () -> incr count) : unit -> unit);
+        Sim.Engine.register e ~component:"t" 0 (fun ~src:_ _ -> incr count);
+        Sim.Engine.schedule_crash e 0 ~at:13;
+        Sim.Engine.run_until e 12;
+        (* Arrives at 14, after the crash: must be dropped. *)
+        Sim.Engine.send e ~component:"t" ~tag:"ping" ~src:1 ~dst:0 (Ping 0);
+        Sim.Engine.run_until e 100;
+        Alcotest.(check int) "only t=0 and t=10 firings" 2 !count;
+        Alcotest.(check bool) "dead" false (Sim.Engine.is_alive e 0);
+        (* Sends from the dead process are swallowed (only p2's earlier send
+           was ever counted). *)
+        Sim.Engine.send e ~component:"t" ~tag:"ping" ~src:0 ~dst:1 (Ping 0);
+        Sim.Engine.run_until e 110;
+        Alcotest.(check int) "src dead: nothing new sent" 1
+          (Sim.Stats.component_counts (Sim.Engine.stats e) ~component:"t").Sim.Stats.sent);
+    tc "message to a crashed process is dropped and traced" (fun () ->
+        let e = mk_engine () in
+        Sim.Engine.register e ~component:"t" 1 (fun ~src:_ _ -> Alcotest.fail "delivered");
+        Sim.Engine.schedule_crash e 1 ~at:1;
+        Sim.Engine.run_until e 1;
+        Sim.Engine.send e ~component:"t" ~tag:"ping" ~src:0 ~dst:1 (Ping 0);
+        Sim.Engine.run_until e 20;
+        let drops =
+          List.filter
+            (function Sim.Trace.Drop _ -> true | _ -> false)
+            (Sim.Trace.events (Sim.Engine.trace e))
+        in
+        Alcotest.(check int) "one drop" 1 (List.length drops));
+    tc "in-flight messages from a crashed process still arrive" (fun () ->
+        let e = mk_engine ~delay:5 () in
+        let got = ref 0 in
+        Sim.Engine.register e ~component:"t" 1 (fun ~src:_ _ -> incr got);
+        Sim.Engine.send e ~component:"t" ~tag:"ping" ~src:0 ~dst:1 (Ping 0);
+        Sim.Engine.schedule_crash e 0 ~at:1;
+        Sim.Engine.run_until e 20;
+        Alcotest.(check int) "delivered" 1 !got);
+    tc "duplicate registration raises" (fun () ->
+        let e = mk_engine () in
+        Sim.Engine.register e ~component:"t" 0 (fun ~src:_ _ -> ());
+        Alcotest.(check bool) "raises" true
+          (try
+             Sim.Engine.register e ~component:"t" 0 (fun ~src:_ _ -> ());
+             false
+           with Invalid_argument _ -> true));
+    tc "run_until refuses to go backwards" (fun () ->
+        let e = mk_engine () in
+        Sim.Engine.run_until e 10;
+        Alcotest.(check bool) "raises" true
+          (try
+             Sim.Engine.run_until e 5;
+             false
+           with Invalid_argument _ -> true));
+    tc "deterministic replay: identical traces for identical seeds" (fun () ->
+        let run seed =
+          let e = Sim.Engine.create ~seed ~n:4 ~link:(Sim.Link.reliable ()) () in
+          Sim.Engine.register e ~component:"t" 1 (fun ~src:_ _ -> ());
+          List.iter
+            (fun p ->
+              ignore
+                (Sim.Engine.every e p ~phase:0 ~period:7 (fun () ->
+                     Sim.Engine.send e ~component:"t" ~tag:"ping" ~src:p ~dst:1 (Ping p))
+                  : unit -> unit))
+            [ 0; 2; 3 ];
+          Sim.Engine.run_until e 500;
+          List.map
+            (Format.asprintf "%a" Sim.Trace.pp_event)
+            (Sim.Trace.events (Sim.Engine.trace e))
+        in
+        Alcotest.(check (list string)) "same" (run 33) (run 33);
+        Alcotest.(check bool) "different seed differs" true (run 33 <> run 34));
+    tc "harness 'at' runs even with everyone crashed" (fun () ->
+        let e = mk_engine ~n:1 () in
+        Sim.Engine.schedule_crash e 0 ~at:1;
+        let ran = ref false in
+        Sim.Engine.at e 5 (fun () -> ran := true);
+        Sim.Engine.run_until e 10;
+        Alcotest.(check bool) "ran" true !ran);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Stats, Fault, Trace, Signal                                        *)
+(* ------------------------------------------------------------------ *)
+
+let stats_tests =
+  [
+    tc "per-component and per-tag counts" (fun () ->
+        let s = Sim.Stats.create () in
+        Sim.Stats.on_send s ~component:"a" ~tag:"x";
+        Sim.Stats.on_send s ~component:"a" ~tag:"y";
+        Sim.Stats.on_deliver s ~component:"a" ~tag:"x";
+        Sim.Stats.on_send s ~component:"b" ~tag:"x";
+        Alcotest.(check int) "a sent" 2 (Sim.Stats.component_counts s ~component:"a").Sim.Stats.sent;
+        Alcotest.(check int) "a/x delivered" 1
+          (Sim.Stats.tag_counts s ~component:"a" ~tag:"x").Sim.Stats.delivered;
+        Alcotest.(check int) "total sent" 3 (Sim.Stats.total s).Sim.Stats.sent;
+        Alcotest.(check (list string)) "components" [ "a"; "b" ] (Sim.Stats.components s));
+    tc "snapshots measure windows" (fun () ->
+        let s = Sim.Stats.create () in
+        Sim.Stats.on_send s ~component:"a" ~tag:"x";
+        let snap = Sim.Stats.snapshot s in
+        Sim.Stats.on_send s ~component:"a" ~tag:"x";
+        Sim.Stats.on_send s ~component:"a" ~tag:"z";
+        Alcotest.(check int) "window" 2 (Sim.Stats.sent_since s snap ~component:"a");
+        Alcotest.(check int) "total window" 2 (Sim.Stats.total_sent_since s snap));
+  ]
+
+let fault_tests =
+  [
+    tc "faulty and correct partition the processes" (fun () ->
+        let sched = Sim.Fault.crashes [ (1, 10); (3, 20) ] in
+        Alcotest.(check (list int)) "faulty" [ 1; 3 ] (Sim.Pid.Set.elements (Sim.Fault.faulty sched));
+        Alcotest.(check (list int)) "correct" [ 0; 2; 4 ]
+          (Sim.Pid.Set.elements (Sim.Fault.correct ~n:5 sched)));
+    tc "duplicate victims rejected" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Sim.Fault.crashes [ (1, 10); (1, 20) ]);
+             false
+           with Invalid_argument _ -> true));
+    tc "last_crash_time" (fun () ->
+        Alcotest.(check int) "none" 0 (Sim.Fault.last_crash_time Sim.Fault.none);
+        Alcotest.(check int) "max" 20 (Sim.Fault.last_crash_time [ (1, 10); (3, 20) ]));
+    Test_util.qcheck ~count:200 ~name:"random_minority keeps a majority correct"
+      QCheck2.Gen.(tup2 (int_range 1 12) (int_range 0 100_000))
+      (fun (n, seed) ->
+        let rng = Sim.Rng.create ~seed in
+        let sched = Sim.Fault.random_minority rng ~n ~latest:100 in
+        2 * Sim.Pid.Set.cardinal (Sim.Fault.faulty sched) < n);
+  ]
+
+let signal_tests =
+  [
+    tc "subscribers are called in order" (fun () ->
+        let s = Sim.Signal.create () in
+        let log = ref [] in
+        Sim.Signal.subscribe s (fun x -> log := ("a", x) :: !log);
+        Sim.Signal.subscribe s (fun x -> log := ("b", x) :: !log);
+        Sim.Signal.emit s 1;
+        Alcotest.(check (list (pair string int))) "order" [ ("b", 1); ("a", 1) ] !log;
+        Alcotest.(check int) "count" 2 (Sim.Signal.subscriber_count s));
+  ]
+
+let trace_tests =
+  [
+    tc "dump writes one pretty-printed event per line" (fun () ->
+        let t = Sim.Trace.create () in
+        Sim.Trace.record t (Sim.Trace.Crash { at = 3; pid = 1 });
+        Sim.Trace.record t (Sim.Trace.Propose { at = 5; pid = 0; value = 7 });
+        let file = Filename.temp_file "ecfd" ".trace" in
+        let oc = open_out file in
+        Sim.Trace.dump t oc;
+        close_out oc;
+        let ic = open_in file in
+        let lines = ref [] in
+        (try
+           while true do
+             lines := input_line ic :: !lines
+           done
+         with End_of_file -> close_in ic);
+        Sys.remove file;
+        Alcotest.(check int) "two lines" 2 (List.length !lines);
+        Alcotest.(check bool) "crash line" true
+          (List.exists (fun l -> l = "[t=3] crash p2") !lines));
+    tc "accessors filter and order events" (fun () ->
+        let t = Sim.Trace.create () in
+        Sim.Trace.record t (Sim.Trace.Propose { at = 0; pid = 0; value = 7 });
+        Sim.Trace.record t (Sim.Trace.Crash { at = 3; pid = 1 });
+        Sim.Trace.record t (Sim.Trace.Decide { at = 9; pid = 0; value = 7; round = 2 });
+        Sim.Trace.record t
+          (Sim.Trace.Fd_view
+             { at = 5; pid = 0; component = "x"; suspected = Sim.Pid.Set.empty; trusted = Some 1 });
+        Alcotest.(check int) "length" 4 (Sim.Trace.length t);
+        Alcotest.(check (list (pair int int))) "crashes" [ (1, 3) ] (Sim.Trace.crashes t);
+        Alcotest.(check (list (pair int int))) "proposals" [ (0, 7) ] (Sim.Trace.proposals t);
+        Alcotest.(check int) "decisions" 1 (List.length (Sim.Trace.decisions t));
+        Alcotest.(check int) "fd views" 1 (List.length (Sim.Trace.fd_views ~component:"x" t));
+        Alcotest.(check int) "fd views other comp" 0
+          (List.length (Sim.Trace.fd_views ~component:"y" t)));
+  ]
+
+let suites =
+  [
+    ("sim.pid", pid_tests);
+    ("sim.rng", rng_tests);
+    ("sim.heap", heap_tests);
+    ("sim.event_queue", event_queue_tests);
+    ("sim.link", link_tests);
+    ("sim.engine", engine_tests);
+    ("sim.stats", stats_tests);
+    ("sim.fault", fault_tests);
+    ("sim.signal", signal_tests);
+    ("sim.trace", trace_tests);
+  ]

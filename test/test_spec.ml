@@ -1,0 +1,361 @@
+(* Unit tests of the property checkers, on hand-built traces: the checkers
+   are the judges of everything else, so they get direct scrutiny. *)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ *)
+(* Eventually                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let eventually_tests =
+  [
+    tc "stabilization on a piecewise signal" (fun () ->
+        let tl = [ (0, false); (5, true); (9, false); (12, true); (20, true) ] in
+        Alcotest.(check (option int)) "stabilizes at 12" (Some 12)
+          (Spec.Eventually.stabilization Fun.id tl));
+    tc "false at the end means no stabilization" (fun () ->
+        let tl = [ (0, true); (10, false) ] in
+        Alcotest.(check (option int)) "none" None (Spec.Eventually.stabilization Fun.id tl));
+    tc "true throughout stabilizes at the first instant" (fun () ->
+        let tl = [ (0, true); (3, true) ] in
+        Alcotest.(check (option int)) "0" (Some 0) (Spec.Eventually.stabilization Fun.id tl));
+    tc "empty timeline never stabilizes" (fun () ->
+        Alcotest.(check (option int)) "none" None (Spec.Eventually.stabilization Fun.id []));
+    tc "all / any combinators" (fun () ->
+        Alcotest.(check (option int)) "all picks the max" (Some 9)
+          (Spec.Eventually.all [ Some 3; Some 9; Some 1 ]);
+        Alcotest.(check (option int)) "all with a failure" None
+          (Spec.Eventually.all [ Some 3; None ]);
+        Alcotest.(check (option int)) "all of nothing is vacuous" (Some 0)
+          (Spec.Eventually.all []);
+        Alcotest.(check (option int)) "any picks the min" (Some 1)
+          (Spec.Eventually.any [ Some 3; None; Some 1 ]);
+        Alcotest.(check (option int)) "any of nothing fails" None (Spec.Eventually.any []));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Fd_props on synthetic traces                                       *)
+(* ------------------------------------------------------------------ *)
+
+let comp = "fd.test"
+
+let view ~at ~pid ?trusted suspected =
+  Sim.Trace.Fd_view
+    { at; pid; component = comp; suspected = Sim.Pid.set_of_list suspected; trusted }
+
+let trace_of events =
+  let t = Sim.Trace.create () in
+  List.iter (Sim.Trace.record t) events;
+  t
+
+(* Scenario: n = 3; p3 crashes at t=10.  p1 and p2 eventually suspect it
+   and trust each... p1. *)
+let good_trace =
+  trace_of
+    [
+      view ~at:0 ~pid:0 ~trusted:0 [];
+      view ~at:0 ~pid:1 ~trusted:0 [];
+      view ~at:0 ~pid:2 ~trusted:0 [];
+      Sim.Trace.Crash { at = 10; pid = 2 };
+      view ~at:12 ~pid:0 ~trusted:0 [ 2 ];
+      view ~at:15 ~pid:1 ~trusted:0 [ 2 ];
+    ]
+
+let good_run = Spec.Fd_props.make_run ~component:comp ~n:3 good_trace
+
+let fd_props_tests =
+  [
+    tc "correct/crashed partition" (fun () ->
+        Alcotest.(check (list int)) "correct" [ 0; 1 ] (Spec.Fd_props.correct_processes good_run);
+        Alcotest.(check (list int)) "crashed" [ 2 ] (Spec.Fd_props.crashed_processes good_run));
+    tc "strong completeness holds with its stabilization time" (fun () ->
+        let r = Spec.Fd_props.strong_completeness good_run in
+        Alcotest.(check bool) "holds" true r.holds;
+        Alcotest.(check (option int)) "since the later suspector" (Some 15) r.since);
+    tc "accuracy holds (nobody suspects a correct process)" (fun () ->
+        Alcotest.(check bool) "strong accuracy" true
+          (Spec.Fd_props.eventual_strong_accuracy good_run).holds);
+    tc "leadership holds on a common trusted process" (fun () ->
+        Alcotest.(check bool) "holds" true (Spec.Fd_props.leadership good_run).holds;
+        Alcotest.(check (option int)) "leader" (Some 0) (Spec.Fd_props.eventual_leader good_run));
+    tc "the full class <>C is recognized" (fun () ->
+        Alcotest.(check bool) "ec" true (Spec.Fd_props.satisfies_class Fd.Classes.Ec good_run));
+    tc "strong completeness fails if one observer never suspects" (fun () ->
+        let t =
+          trace_of
+            [
+              view ~at:0 ~pid:0 ~trusted:0 [];
+              view ~at:0 ~pid:1 ~trusted:0 [];
+              view ~at:0 ~pid:2 ~trusted:0 [];
+              Sim.Trace.Crash { at = 10; pid = 2 };
+              view ~at:12 ~pid:0 ~trusted:0 [ 2 ];
+              (* p2 (observer pid 1) never suspects. *)
+            ]
+        in
+        let run = Spec.Fd_props.make_run ~component:comp ~n:3 t in
+        Alcotest.(check bool) "strong fails" false (Spec.Fd_props.strong_completeness run).holds;
+        Alcotest.(check bool) "weak holds" true (Spec.Fd_props.weak_completeness run).holds);
+    tc "suspicion withdrawn at the end violates completeness" (fun () ->
+        let t =
+          trace_of
+            [
+              view ~at:0 ~pid:0 ~trusted:0 [];
+              view ~at:0 ~pid:1 ~trusted:0 [];
+              Sim.Trace.Crash { at = 10; pid = 1 };
+              view ~at:12 ~pid:0 ~trusted:0 [ 1 ];
+              view ~at:30 ~pid:0 ~trusted:0 [];
+            ]
+        in
+        let run = Spec.Fd_props.make_run ~component:comp ~n:2 t in
+        Alcotest.(check bool) "not permanent" false
+          (Spec.Fd_props.strong_completeness run).holds);
+    tc "accuracy fails on a permanent false suspicion" (fun () ->
+        let t =
+          trace_of
+            [
+              view ~at:0 ~pid:0 ~trusted:0 [ 1 ];
+              view ~at:0 ~pid:1 ~trusted:0 [];
+            ]
+        in
+        let run = Spec.Fd_props.make_run ~component:comp ~n:2 t in
+        Alcotest.(check bool) "strong accuracy fails" false
+          (Spec.Fd_props.eventual_strong_accuracy run).holds;
+        (* ... but weak accuracy holds via p1, never suspected. *)
+        Alcotest.(check bool) "weak accuracy holds" true
+          (Spec.Fd_props.eventual_weak_accuracy run).holds);
+    tc "leadership fails on split trust" (fun () ->
+        let t =
+          trace_of
+            [
+              view ~at:0 ~pid:0 ~trusted:0 [];
+              view ~at:0 ~pid:1 ~trusted:1 [];
+            ]
+        in
+        let run = Spec.Fd_props.make_run ~component:comp ~n:2 t in
+        Alcotest.(check bool) "no common leader" false (Spec.Fd_props.leadership run).holds);
+    tc "leadership fails when the common leader is crashed" (fun () ->
+        let t =
+          trace_of
+            [
+              Sim.Trace.Crash { at = 5; pid = 1 };
+              view ~at:0 ~pid:0 ~trusted:1 [];
+              view ~at:0 ~pid:2 ~trusted:1 [];
+            ]
+        in
+        let run = Spec.Fd_props.make_run ~component:comp ~n:3 t in
+        Alcotest.(check bool) "dead leader" false (Spec.Fd_props.leadership run).holds);
+    tc "trusted-not-suspected detects violations" (fun () ->
+        let t =
+          trace_of
+            [
+              view ~at:0 ~pid:0 ~trusted:1 [ 1 ];
+              view ~at:0 ~pid:1 ~trusted:1 [];
+            ]
+        in
+        let run = Spec.Fd_props.make_run ~component:comp ~n:2 t in
+        Alcotest.(check bool) "violated" false (Spec.Fd_props.trusted_not_suspected run).holds);
+    tc "detection_time is the last suspector's instant" (fun () ->
+        Alcotest.(check (option int)) "15" (Some 15)
+          (Spec.Fd_props.detection_time good_run ~victim:2));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Consensus_props on synthetic traces                                *)
+(* ------------------------------------------------------------------ *)
+
+let propose ~at ~pid value = Sim.Trace.Propose { at; pid; value }
+let decide ~at ~pid ~round value = Sim.Trace.Decide { at; pid; value; round }
+
+let consensus_props_tests =
+  [
+    tc "a clean run has no violations" (fun () ->
+        let t =
+          trace_of
+            [
+              propose ~at:0 ~pid:0 7;
+              propose ~at:0 ~pid:1 9;
+              decide ~at:5 ~pid:0 ~round:1 9;
+              decide ~at:6 ~pid:1 ~round:1 9;
+            ]
+        in
+        Alcotest.(check int) "none" 0 (List.length (Spec.Consensus_props.check_all t ~n:2)));
+    tc "termination: a silent correct process is reported" (fun () ->
+        let t = trace_of [ propose ~at:0 ~pid:0 7; decide ~at:5 ~pid:0 ~round:1 7 ] in
+        Alcotest.(check int) "one violation" 1
+          (List.length (Spec.Consensus_props.termination t ~n:2)));
+    tc "termination: crashed processes are excused" (fun () ->
+        let t =
+          trace_of
+            [
+              propose ~at:0 ~pid:0 7;
+              Sim.Trace.Crash { at = 2; pid = 1 };
+              decide ~at:5 ~pid:0 ~round:1 7;
+            ]
+        in
+        Alcotest.(check int) "none" 0 (List.length (Spec.Consensus_props.termination t ~n:2)));
+    tc "uniform agreement catches disagreement, even by a faulty process" (fun () ->
+        let t =
+          trace_of
+            [
+              propose ~at:0 ~pid:0 7;
+              propose ~at:0 ~pid:1 8;
+              decide ~at:4 ~pid:1 ~round:1 8;
+              Sim.Trace.Crash { at = 5; pid = 1 };
+              decide ~at:6 ~pid:0 ~round:2 7;
+            ]
+        in
+        Alcotest.(check int) "one violation" 1
+          (List.length (Spec.Consensus_props.uniform_agreement t)));
+    tc "uniform integrity catches double decision" (fun () ->
+        let t =
+          trace_of
+            [ propose ~at:0 ~pid:0 7; decide ~at:4 ~pid:0 ~round:1 7; decide ~at:5 ~pid:0 ~round:2 7 ]
+        in
+        Alcotest.(check int) "one violation" 1
+          (List.length (Spec.Consensus_props.uniform_integrity t)));
+    tc "validity catches an invented value" (fun () ->
+        let t = trace_of [ propose ~at:0 ~pid:0 7; decide ~at:4 ~pid:0 ~round:1 13 ] in
+        Alcotest.(check int) "one violation" 1 (List.length (Spec.Consensus_props.validity t)));
+    tc "metrics" (fun () ->
+        let t =
+          trace_of
+            [
+              propose ~at:0 ~pid:0 7;
+              decide ~at:4 ~pid:0 ~round:1 7;
+              decide ~at:9 ~pid:1 ~round:3 7;
+            ]
+        in
+        Alcotest.(check (option int)) "round" (Some 3) (Spec.Consensus_props.decision_round t);
+        Alcotest.(check (option int)) "first" (Some 4) (Spec.Consensus_props.first_decision_time t);
+        Alcotest.(check (option int)) "last" (Some 9) (Spec.Consensus_props.last_decision_time t));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Round_metrics                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let send ~at ~tag = Sim.Trace.Send { at; src = 0; dst = 1; component = "c"; tag }
+
+let round_metrics_tests =
+  [
+    tc "round parsing" (fun () ->
+        Alcotest.(check (option int)) "r3" (Some 3) (Spec.Round_metrics.round_of_tag "ack.r3");
+        Alcotest.(check (option int)) "plain" None (Spec.Round_metrics.round_of_tag "ack");
+        Alcotest.(check (option int)) "dotted" None (Spec.Round_metrics.round_of_tag "a.b"));
+    tc "per-round and per-tag aggregation" (fun () ->
+        let t =
+          trace_of
+            [
+              send ~at:0 ~tag:"est.r1";
+              send ~at:1 ~tag:"est.r1";
+              send ~at:2 ~tag:"ack.r1";
+              send ~at:3 ~tag:"est.r2";
+              Sim.Trace.Send { at = 4; src = 0; dst = 1; component = "other"; tag = "est.r1" };
+            ]
+        in
+        Alcotest.(check (list (pair int int))) "by round" [ (1, 3); (2, 1) ]
+          (Spec.Round_metrics.sends_by_round t ~component:"c");
+        Alcotest.(check int) "round 1" 3 (Spec.Round_metrics.sends_in_round t ~component:"c" ~round:1);
+        Alcotest.(check (list (pair string int))) "by tag" [ ("ack", 1); ("est", 2) ]
+          (Spec.Round_metrics.sends_by_tag_in_round t ~component:"c" ~round:1));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Timeline rendering                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let timeline_tests =
+  [
+    tc "leadership cells show self, peer, crash" (fun () ->
+        let t =
+          trace_of
+            [
+              view ~at:0 ~pid:0 ~trusted:0 [];
+              view ~at:0 ~pid:1 ~trusted:0 [];
+              Sim.Trace.Crash { at = 50; pid = 0 };
+              view ~at:60 ~pid:1 ~trusted:1 [];
+            ]
+        in
+        let run = Spec.Fd_props.make_run ~component:comp ~n:2 t in
+        let out = Spec.Timeline.render_leadership ~width:10 run ~horizon:100 in
+        let lines = String.split_on_char '\n' out in
+        let p1 = List.nth lines 0 and p2 = List.nth lines 1 in
+        Alcotest.(check bool) "p1 leads itself then crashes" true
+          (String.length p1 > 8
+          && String.contains p1 '*'
+          && String.contains p1 'X');
+        Alcotest.(check bool) "p2 trusts p1 then itself" true
+          (String.contains p2 '1' && String.contains p2 '*'));
+    tc "suspicion cells count suspects" (fun () ->
+        let t =
+          trace_of
+            [ view ~at:0 ~pid:0 ~trusted:0 [ 1 ]; view ~at:0 ~pid:1 ~trusted:0 [] ]
+        in
+        let run = Spec.Fd_props.make_run ~component:comp ~n:2 t in
+        let out = Spec.Timeline.render_suspicions ~width:8 run ~horizon:80 in
+        let lines = String.split_on_char '\n' out in
+        Alcotest.(check bool) "p1 shows 1" true (String.contains (List.nth lines 0) '1');
+        Alcotest.(check bool) "p2 shows 0" true (String.contains (List.nth lines 1) '0'));
+    tc "decision cells move . -> p -> D" (fun () ->
+        let t =
+          trace_of [ propose ~at:10 ~pid:0 7; decide ~at:50 ~pid:0 ~round:1 7 ]
+        in
+        let out = Spec.Timeline.render_decisions ~width:10 t ~n:1 ~horizon:100 in
+        let line = List.nth (String.split_on_char '\n' out) 0 in
+        (* keep only the cells between the pipes: the label also has a 'p' *)
+        let bar = String.index line '|' in
+        let row = String.sub line (bar + 1) (String.rindex line '|' - bar - 1) in
+        (* columns: 0 '.', 1.. 'p', 5.. 'D' *)
+        Alcotest.(check bool) "shape" true
+          (String.contains row '.' && String.contains row 'p' && String.contains row 'D');
+        let dot = String.index row '.' and p = String.index row 'p' and d = String.index row 'D' in
+        Alcotest.(check bool) "ordered" true (dot < p && p < d));
+    tc "rows are horizon-aligned and one per process" (fun () ->
+        let t =
+          trace_of [ view ~at:0 ~pid:0 ~trusted:0 []; view ~at:0 ~pid:1 ~trusted:0 [] ]
+        in
+        let run = Spec.Fd_props.make_run ~component:comp ~n:2 t in
+        let out = Spec.Timeline.render_leadership ~width:20 run ~horizon:100 in
+        let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' out) in
+        Alcotest.(check int) "2 rows + axis" 3 (List.length lines));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Link_metrics                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let send_on ~at ~src ~dst ~component =
+  Sim.Trace.Send { at; src; dst; component; tag = "x" }
+
+let link_metrics_tests =
+  [
+    tc "active_links: window and component filtering, dedup, order" (fun () ->
+        let t =
+          trace_of
+            [
+              send_on ~at:5 ~src:0 ~dst:1 ~component:"a";
+              send_on ~at:6 ~src:0 ~dst:1 ~component:"a";
+              send_on ~at:7 ~src:1 ~dst:0 ~component:"a";
+              send_on ~at:8 ~src:2 ~dst:0 ~component:"b";
+              send_on ~at:99 ~src:3 ~dst:0 ~component:"a";
+            ]
+        in
+        Alcotest.(check (list (pair int int)))
+          "deduped, in-window, component a" [ (0, 1); (1, 0) ]
+          (Spec.Link_metrics.active_links t ~components:[ "a" ] ~from_t:0 ~to_t:50));
+    tc "star_of is the 2(n-1) leader star" (fun () ->
+        let star = Spec.Link_metrics.star_of ~leader:1 ~n:3 in
+        Alcotest.(check (list (pair int int))) "star"
+          [ (0, 1); (1, 0); (1, 2); (2, 1) ]
+          star);
+  ]
+
+let suites =
+  [
+    ("spec.eventually", eventually_tests);
+    ("spec.timeline", timeline_tests);
+    ("spec.link_metrics", link_metrics_tests);
+    ("spec.fd_props", fd_props_tests);
+    ("spec.consensus_props", consensus_props_tests);
+    ("spec.round_metrics", round_metrics_tests);
+  ]

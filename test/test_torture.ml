@@ -1,0 +1,57 @@
+(* The torture matrix: every detector stack against every crash scenario,
+   checked against its claimed class.  One parametric loop, not copy-paste:
+   each (detector, scenario) pair is its own alcotest case so failures
+   pinpoint the cell. *)
+
+let detectors : (string * Scenario.detector * Fd.Classes.t) list =
+  [
+    ("heartbeat-p", Scenario.Heartbeat_p, Fd.Classes.P_eventual);
+    ("ring-s", Scenario.Ring_s, Fd.Classes.S_eventual);
+    ("ring-w", Scenario.Ring_w, Fd.Classes.W_eventual);
+    ("leader-s", Scenario.Leader_s, Fd.Classes.S_eventual);
+    ("stable-omega", Scenario.Stable_omega, Fd.Classes.Omega);
+    ("ec-from-leader", Scenario.Ec_from_leader, Fd.Classes.Ec);
+    ("ec-from-ring", Scenario.Ec_from_ring, Fd.Classes.Ec);
+    ("ec-from-stable", Scenario.Ec_from_stable, Fd.Classes.Ec);
+    ("ec-from-heartbeat", Scenario.Ec_from_heartbeat, Fd.Classes.Ec);
+  ]
+
+(* Each scenario: n, crash schedule, network, horizon. *)
+let scenarios : (string * int * Sim.Fault.t * Scenario.net * int) list =
+  let calm seed = { Scenario.default_net with seed } in
+  let chaos seed = Scenario.chaotic_net ~seed ~gst:400 () in
+  [
+    ("failure-free", 5, Sim.Fault.none, calm 11, 6000);
+    ("first process crashes", 5, Sim.Fault.crash 0 ~at:300, calm 12, 8000);
+    ("last process crashes", 5, Sim.Fault.crash 4 ~at:300, calm 13, 8000);
+    ( "cascade of leaders",
+      7,
+      Sim.Fault.crashes [ (0, 200); (1, 700); (2, 1200) ],
+      calm 14,
+      10_000 );
+    ( "adjacent pair at the same instant",
+      6,
+      Sim.Fault.crashes [ (2, 500); (3, 500) ],
+      calm 15,
+      9000 );
+    ( "all but two crash",
+      6,
+      Sim.Fault.crashes [ (0, 100); (1, 200); (3, 300); (5, 400) ],
+      calm 16,
+      9000 );
+    ("chaos then one crash", 5, Sim.Fault.crash 1 ~at:700, chaos 17, 12_000);
+    ( "crash before the run calms down",
+      5,
+      Sim.Fault.crash 0 ~at:50,
+      chaos 18,
+      12_000 );
+  ]
+
+let cell (dname, detector, cls) (sname, n, crashes, net, horizon) =
+  Alcotest.test_case (Printf.sprintf "%s / %s" dname sname) `Quick (fun () ->
+      let _, run, _ = Scenario.fd_run ~net ~crashes ~horizon ~n ~detector () in
+      Test_util.check_class (dname ^ " under " ^ sname) cls run)
+
+let torture_tests = List.concat_map (fun d -> List.map (cell d) scenarios) detectors
+
+let suites = [ ("fd.torture", torture_tests) ]

@@ -1,0 +1,62 @@
+(* Shared helpers and qcheck generators for the test suites. *)
+
+let qcheck ?(count = 50) ~name gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen law)
+
+(* --- generators --- *)
+
+module Gen = struct
+  open QCheck2.Gen
+
+  let seed = int_range 0 1_000_000
+
+  let small_n = int_range 2 8
+
+  (* n together with a crash schedule of fewer than n/2 victims. *)
+  let n_and_minority_crashes ~latest =
+    small_n >>= fun n ->
+    seed >|= fun s ->
+    let rng = Sim.Rng.create ~seed:s in
+    (n, Sim.Fault.random_minority rng ~n ~latest)
+
+  let net =
+    seed >>= fun s ->
+    int_range 0 400 >|= fun gst ->
+    { Scenario.default_net with seed = s; gst }
+end
+
+(* --- assertions --- *)
+
+let check_no_violations what trace ~n =
+  let violations = Spec.Consensus_props.check_all trace ~n in
+  Alcotest.(check int)
+    (what ^ ": "
+    ^ String.concat "; "
+        (List.map (Format.asprintf "%a" Spec.Consensus_props.pp_violation) violations))
+    0 (List.length violations)
+
+let check_safety_only what trace =
+  let violations = Spec.Consensus_props.check_safety trace in
+  Alcotest.(check int)
+    (what ^ ": "
+    ^ String.concat "; "
+        (List.map (Format.asprintf "%a" Spec.Consensus_props.pp_violation) violations))
+    0 (List.length violations)
+
+let check_class what cls run =
+  let matrix = Spec.Fd_props.class_matrix run in
+  let missing =
+    List.filter
+      (fun p -> not (Spec.Fd_props.check p run).Spec.Fd_props.holds)
+      (Fd.Classes.properties cls)
+  in
+  if missing <> [] then
+    Alcotest.failf "%s: class %s misses %s (matrix: %s)" what (Fd.Classes.name cls)
+      (String.concat ", " (List.map Fd.Classes.property_name missing))
+      (String.concat "; "
+         (List.map
+            (fun (p, (r : Spec.Fd_props.report)) ->
+              Printf.sprintf "%s=%b" (Fd.Classes.property_name p) r.holds)
+            matrix))
+
+let bool_law what b = if b then true else QCheck2.Test.fail_reportf "%s" what
