@@ -4,7 +4,9 @@
 
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe -- e4 e5   # selected experiments
-     dune exec bench/main.exe -- micro   # only the Bechamel group *)
+     dune exec bench/main.exe -- micro   # only the Bechamel group
+     dune exec bench/main.exe -- sim_core   # engine hot path -> BENCH_sim_core.json
+                                            # (SIM_CORE_EVENTS=2000 for a smoke run) *)
 
 let experiments =
   [
@@ -25,7 +27,9 @@ let experiments =
     ("e15", Experiments.e15);
     ("e16", Experiments.e16);
     ("e17", Experiments.e17);
+    ("e18", Experiments.e18);
     ("micro", Micro.run);
+    ("sim_core", Micro.sim_core);
   ]
 
 let () =

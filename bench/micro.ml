@@ -54,6 +54,108 @@ let bench_spec =
          ignore (Spec.Fd_props.satisfies_class Fd.Classes.Ec run);
          ignore (Spec.Consensus_props.check_all r.Scenario.trace ~n:6)))
 
+(* ------------------------------------------------------------------ *)
+(* Sim-core lifecycle bench: events/sec through the engine hot path   *)
+(* and resource-accounting counters, emitted as BENCH_sim_core.json   *)
+(* so successive PRs can track the engine's perf trajectory.          *)
+(* ------------------------------------------------------------------ *)
+
+let sim_core_default_events = 1_000_000
+
+let sim_core_target () =
+  (* SIM_CORE_EVENTS=2000 gives CI a smoke run that still exercises the
+     whole measurement + JSON path. *)
+  match Sys.getenv_opt "SIM_CORE_EVENTS" with
+  | Some s -> ( match int_of_string_opt s with Some v when v > 0 -> v | _ -> sim_core_default_events)
+  | None -> sim_core_default_events
+
+let sim_core_json_file = "BENCH_sim_core.json"
+
+let sim_core () =
+  Tables.heading "SIM-CORE" "Engine hot path: timer-churn throughput and lifecycle accounting";
+  let target = sim_core_target () in
+  let n = 8 in
+  let engine = Sim.Engine.create ~seed:97 ~n ~link:(Sim.Link.synchronous ~delay:1) () in
+  (* Timer-dominated churn — the mix a failure-detector layer produces:
+     every tick every process arms two timers and cancels one.  Timers
+     record no trace events, so the run measures the engine core rather
+     than trace allocation. *)
+  let max_residency = ref 0 in
+  List.iter
+    (fun p ->
+      ignore
+        (Sim.Engine.every engine p ~phase:0 ~period:1 (fun () ->
+             let doomed = Sim.Engine.set_timer engine p ~delay:3 (fun () -> ()) in
+             ignore (Sim.Engine.set_timer engine p ~delay:2 (fun () -> ()) : Sim.Engine.timer);
+             Sim.Engine.cancel_timer engine doomed;
+             let r = Sim.Engine.timer_residency engine in
+             if r > !max_residency then max_residency := r)
+          : unit -> unit))
+    (Sim.Pid.all ~n);
+  let t0 = Sys.time () in
+  let steps = ref 0 in
+  while !steps < target && Sim.Engine.step engine do
+    incr steps
+  done;
+  let elapsed = Sys.time () -. t0 in
+  let lc = Sim.Stats.lifecycle (Sim.Engine.stats engine) in
+  let events_per_sec =
+    if elapsed > 0.0 then float_of_int !steps /. elapsed else 0.0
+  in
+  let residency_end = Sim.Engine.timer_residency engine in
+  let table_capacity = Sim.Engine.timer_table_capacity engine in
+  Tables.table
+    ~headers:[ "metric"; "value" ]
+    ~rows:
+      [
+        [ "events executed"; string_of_int lc.Sim.Stats.events_executed ];
+        [ "elapsed (s)"; Printf.sprintf "%.3f" elapsed ];
+        [ "events/sec"; Printf.sprintf "%.0f" events_per_sec ];
+        [ "queue high-water (max live heap slots)"; string_of_int lc.Sim.Stats.queue_high_water ];
+        [ "timers set"; string_of_int lc.Sim.Stats.timers_set ];
+        [ "timers fired"; string_of_int lc.Sim.Stats.timers_fired ];
+        [ "timers cancelled"; string_of_int lc.Sim.Stats.timers_cancelled ];
+        [ "timers reclaimed"; string_of_int lc.Sim.Stats.timers_reclaimed ];
+        [ "timer-table capacity (slots ever allocated)"; string_of_int table_capacity ];
+        [ "timer-table max residency"; string_of_int !max_residency ];
+        [ "timer-table residency at end"; string_of_int residency_end ];
+      ];
+  (* Sanity: every set timer is either reclaimed or still resident. *)
+  assert (lc.Sim.Stats.timers_set = lc.Sim.Stats.timers_reclaimed + residency_end);
+  let oc = open_out sim_core_json_file in
+  Printf.fprintf oc
+    {|{
+  "bench": "sim_core",
+  "schema_version": 1,
+  "n": %d,
+  "events_target": %d,
+  "events_executed": %d,
+  "elapsed_s": %.6f,
+  "events_per_sec": %.1f,
+  "max_live_heap_slots": %d,
+  "timers": {
+    "set": %d,
+    "fired": %d,
+    "cancelled": %d,
+    "reclaimed": %d
+  },
+  "timer_table": {
+    "capacity": %d,
+    "max_residency": %d,
+    "residency_at_end": %d
+  }
+}
+|}
+    n target lc.Sim.Stats.events_executed elapsed events_per_sec
+    lc.Sim.Stats.queue_high_water lc.Sim.Stats.timers_set lc.Sim.Stats.timers_fired
+    lc.Sim.Stats.timers_cancelled lc.Sim.Stats.timers_reclaimed table_capacity !max_residency
+    residency_end;
+  close_out oc;
+  Tables.note "Wrote %s (SIM_CORE_EVENTS=%d; set the env var for smoke runs)." sim_core_json_file
+    target;
+  Tables.note "Timer-table residency stays bounded by in-flight timers — cancellations";
+  Tables.note "no longer accumulate for the lifetime of the run."
+
 let run () =
   Tables.heading "B1-B4" "Bechamel micro-benchmarks of the reproduction substrate";
   let tests =
@@ -84,4 +186,13 @@ let run () =
     |> List.sort compare
   in
   Tables.table ~headers:[ "benchmark"; "time/run (OLS)"; "r^2" ] ~rows;
-  Tables.note "Monotonic-clock OLS estimates; each run rebuilds its whole system."
+  Tables.note "Monotonic-clock OLS estimates; each run rebuilds its whole system.";
+  (* One representative run's lifecycle accounting, so regressions in event
+     or timer volume (not just wall clock) are visible in the report. *)
+  let engine =
+    Sim.Engine.create ~seed:1 ~n:8 ~link:(Sim.Link.reliable ~min_delay:1 ~max_delay:8 ()) ()
+  in
+  let _ = Fd.Heartbeat_p.install engine Fd.Heartbeat_p.default_params in
+  Sim.Engine.run_until engine 500;
+  Tables.note "B1 lifecycle: %s"
+    (Format.asprintf "%a" Sim.Stats.pp_lifecycle (Sim.Stats.lifecycle (Sim.Engine.stats engine)))

@@ -1,8 +1,22 @@
 type event_kind =
   | Deliver of Payload.envelope
-  | Timer_fire of { pid : Pid.t; id : int; callback : unit -> unit }
+  | Timer_fire of { pid : Pid.t; slot : int; gen : int; callback : unit -> unit }
   | Crash_now of Pid.t
   | Harness of (unit -> unit)
+
+(* Timer registry: a generation/slot table replacing the old
+   [(int, unit) Hashtbl.t] of cancelled ids, which grew for the lifetime of
+   the run (entries were never purged, so a soak run leaked one table entry
+   per cancellation forever).
+
+   Every armed timer owns one slot until the instant its [Timer_fire] event
+   is popped — fired, cancelled in the meantime, or orphaned by a crash, the
+   pop reclaims the slot and bumps its generation.  A timer handle is
+   (slot, generation); a stale handle (cancel after the event popped, or
+   after the slot was reused) compares unequal on generation and is a no-op.
+   Residency is therefore bounded by the number of in-flight timer events,
+   not by the cumulative number of cancellations. *)
+type timer_state = Free | Armed | Cancelled
 
 type t = {
   n : int;
@@ -14,8 +28,11 @@ type t = {
   handlers : (string, (src:Pid.t -> Payload.t -> unit) option array) Hashtbl.t;
   trace : Trace.t;
   stats : Stats.t;
-  cancelled_timers : (int, unit) Hashtbl.t;
-  mutable next_timer_id : int;
+  mutable timer_gens : int array;
+  mutable timer_states : timer_state array;
+  mutable timer_free : int list;  (* reclaimed slots below [timer_next_slot] *)
+  mutable timer_next_slot : int;  (* slots ever handed out; table high-water *)
+  mutable timer_live : int;  (* Armed + Cancelled slots awaiting reclaim *)
 }
 
 let create ?(seed = 0) ~n ~link () =
@@ -30,8 +47,11 @@ let create ?(seed = 0) ~n ~link () =
     handlers = Hashtbl.create 8;
     trace = Trace.create ();
     stats = Stats.create ();
-    cancelled_timers = Hashtbl.create 64;
-    next_timer_id = 0;
+    timer_gens = [||];
+    timer_states = [||];
+    timer_free = [];
+    timer_next_slot = 0;
+    timer_live = 0;
   }
 
 let n t = t.n
@@ -49,10 +69,16 @@ let is_alive t p =
 
 let alive_processes t = List.filter (fun p -> t.alive.(p)) (Pid.all ~n:t.n)
 
+(* Every enqueue goes through here so the queue high-water mark in [Stats]
+   is exact, not sampled. *)
+let schedule_event t ~at kind =
+  Event_queue.schedule t.queue ~at kind;
+  Stats.note_queue_depth t.stats ~depth:(Event_queue.length t.queue)
+
 let schedule_crash t p ~at =
   check_pid t p;
   if at < t.now then invalid_arg "Engine.schedule_crash: instant in the past";
-  Event_queue.schedule t.queue ~at (Crash_now p)
+  schedule_event t ~at (Crash_now p)
 
 let register t ~component p handler =
   check_pid t p;
@@ -80,7 +106,7 @@ let send t ~component ~tag ~src ~dst payload =
     in
     if Pid.equal src dst then
       (* Local delivery: immediate, not a network message, not counted. *)
-      Event_queue.schedule t.queue ~at:t.now (Deliver envelope)
+      schedule_event t ~at:t.now (Deliver envelope)
     else begin
       Trace.record t.trace (Send { at = t.now; src; dst; component; tag });
       Stats.on_send t.stats ~component ~tag;
@@ -90,7 +116,7 @@ let send t ~component ~tag ~src ~dst payload =
         Stats.on_drop t.stats ~component ~tag
       | Link.Deliver_at at ->
         assert (at >= t.now);
-        Event_queue.schedule t.queue ~at (Deliver envelope)
+        schedule_event t ~at (Deliver envelope)
     end
   end
 
@@ -100,38 +126,87 @@ let send_to_all_others t ~component ~tag ~src payload =
 let send_to_all t ~component ~tag ~src payload =
   List.iter (fun dst -> send t ~component ~tag ~src ~dst payload) (Pid.all ~n:t.n)
 
-type timer = int
+type timer = { slot : int; gen : int }
+
+let timer_residency t = t.timer_live
+let timer_table_capacity t = t.timer_next_slot
+
+let alloc_timer_slot t =
+  match t.timer_free with
+  | slot :: rest ->
+    t.timer_free <- rest;
+    slot
+  | [] ->
+    let capacity = Array.length t.timer_gens in
+    if t.timer_next_slot = capacity then begin
+      let capacity' = Stdlib.max 16 (2 * capacity) in
+      let gens' = Array.make capacity' 0 in
+      let states' = Array.make capacity' Free in
+      Array.blit t.timer_gens 0 gens' 0 capacity;
+      Array.blit t.timer_states 0 states' 0 capacity;
+      t.timer_gens <- gens';
+      t.timer_states <- states'
+    end;
+    let slot = t.timer_next_slot in
+    t.timer_next_slot <- slot + 1;
+    slot
+
+let reclaim_timer_slot t slot =
+  t.timer_gens.(slot) <- t.timer_gens.(slot) + 1;
+  t.timer_states.(slot) <- Free;
+  t.timer_free <- slot :: t.timer_free;
+  t.timer_live <- t.timer_live - 1;
+  Stats.on_timer_reclaimed t.stats
 
 let set_timer t p ~delay callback =
   check_pid t p;
   if delay < 0 then invalid_arg "Engine.set_timer: negative delay";
-  let id = t.next_timer_id in
-  t.next_timer_id <- id + 1;
-  Event_queue.schedule t.queue ~at:(t.now + delay) (Timer_fire { pid = p; id; callback });
-  id
+  let slot = alloc_timer_slot t in
+  let gen = t.timer_gens.(slot) in
+  t.timer_states.(slot) <- Armed;
+  t.timer_live <- t.timer_live + 1;
+  Stats.on_timer_set t.stats;
+  schedule_event t ~at:(t.now + delay) (Timer_fire { pid = p; slot; gen; callback });
+  { slot; gen }
 
-let cancel_timer t id = Hashtbl.replace t.cancelled_timers id ()
+let cancel_timer t { slot; gen } =
+  (* Stale handles (already fired, already cancelled, slot since reused)
+     fail the generation or state check and are no-ops. *)
+  if slot < Array.length t.timer_gens
+     && t.timer_gens.(slot) = gen
+     && t.timer_states.(slot) = Armed
+  then begin
+    t.timer_states.(slot) <- Cancelled;
+    Stats.on_timer_cancelled t.stats
+  end
 
 let every t p ?phase ~period callback =
   check_pid t p;
   if period <= 0 then invalid_arg "Engine.every: period must be positive";
   let phase = match phase with Some d -> d | None -> period in
   let stopped = ref false in
+  let current = ref None in
   let rec arm delay =
-    ignore
-      (set_timer t p ~delay (fun () ->
-           if not !stopped then begin
-             callback ();
-             arm period
-           end)
-        : timer)
+    current :=
+      Some
+        (set_timer t p ~delay (fun () ->
+             if not !stopped then begin
+               callback ();
+               arm period
+             end))
   in
   arm phase;
-  fun () -> stopped := true
+  fun () ->
+    if not !stopped then begin
+      stopped := true;
+      (* Cancel the armed occurrence so its registry slot is accounted as
+         cancelled rather than silently swallowed by the closure flag. *)
+      Option.iter (cancel_timer t) !current
+    end
 
 let at t instant callback =
   if instant < t.now then invalid_arg "Engine.at: instant in the past";
-  Event_queue.schedule t.queue ~at:instant (Harness callback)
+  schedule_event t ~at:instant (Harness callback)
 
 let note t p ~tag detail = Trace.record t.trace (Note { at = t.now; pid = p; tag; detail })
 
@@ -169,8 +244,19 @@ let dispatch t (envelope : Payload.envelope) =
 let execute t kind =
   match kind with
   | Deliver envelope -> dispatch t envelope
-  | Timer_fire { pid; id; callback } ->
-    if t.alive.(pid) && not (Hashtbl.mem t.cancelled_timers id) then callback ()
+  | Timer_fire { pid; slot; gen; callback } ->
+    if t.timer_gens.(slot) = gen then begin
+      let state = t.timer_states.(slot) in
+      (* Reclaim before running the callback: the callback may set new
+         timers (the slot can be reused immediately — the bumped generation
+         keeps old handles stale) and may read residency counters, which
+         must not include this already-popped timer. *)
+      reclaim_timer_slot t slot;
+      if state = Armed && t.alive.(pid) then begin
+        Stats.on_timer_fired t.stats;
+        callback ()
+      end
+    end
   | Crash_now p ->
     if t.alive.(p) then begin
       t.alive.(p) <- false;
@@ -184,6 +270,7 @@ let step t =
   | Some (at, kind) ->
     assert (at >= t.now);
     t.now <- at;
+    Stats.on_event_executed t.stats;
     execute t kind;
     true
 
@@ -200,3 +287,5 @@ let run_until t horizon =
   t.now <- horizon
 
 let pending_events t = Event_queue.length t.queue
+
+let compact t = Event_queue.shrink t.queue

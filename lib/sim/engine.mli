@@ -64,17 +64,37 @@ val send_to_all : t -> component:string -> tag:string -> src:Pid.t -> Payload.t 
 (** {1 Timers} *)
 
 type timer
+(** A (slot, generation) handle into the engine's timer registry.  The slot
+    is reclaimed — and the handle becomes permanently stale — the instant
+    the timer's scheduled event is popped, whether it fired, was cancelled,
+    or its owner had crashed.  Registry residency is therefore bounded by
+    the number of in-flight timer events, never by the cumulative number of
+    cancellations. *)
 
 val set_timer : t -> Pid.t -> delay:int -> (unit -> unit) -> timer
 (** Run the callback [delay] ticks from now, unless cancelled or the process
     crashes first.  [delay >= 0]. *)
 
 val cancel_timer : t -> timer -> unit
+(** Prevent the timer from firing.  Idempotent; a stale handle (the timer
+    already fired, was already cancelled, or its slot was reused) is a
+    no-op, so cancelling late is always safe. *)
 
 val every : t -> Pid.t -> ?phase:int -> period:int -> (unit -> unit) -> unit -> unit
 (** [every t p ~phase ~period f] runs [f] at [now + phase], then every
-    [period] ticks, while [p] is alive.  Returns a stop function.
-    [phase] defaults to [period]. *)
+    [period] ticks, while [p] is alive.  With [~phase:0] the first firing
+    happens at the current instant (after the currently executing event),
+    then exactly once per period.  Returns a stop function; stopping
+    cancels the armed occurrence.  [phase] defaults to [period]. *)
+
+val timer_residency : t -> int
+(** Registry slots currently occupied (armed timers plus cancelled timers
+    whose deadline has not yet passed).  O(1). *)
+
+val timer_table_capacity : t -> int
+(** Registry slots ever allocated — the table's high-water mark; bounded by
+    the peak number of simultaneously in-flight timers, not by run
+    length. *)
 
 (** {1 Harness hooks} *)
 
@@ -99,3 +119,8 @@ val run_until : t -> Sim_time.t -> unit
     clock to it.  Raises [Invalid_argument] on a horizon in the past. *)
 
 val pending_events : t -> int
+
+val compact : t -> unit
+(** Return event-queue backing-store slack to the GC after a scheduling
+    burst; never drops events.  Long-lived engines (soaks, servers) can
+    call this between load phases. *)

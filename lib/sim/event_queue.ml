@@ -19,4 +19,6 @@ let next_time t = Option.map (fun e -> e.at) (Heap.peek t.heap)
 
 let pop t = Option.map (fun e -> (e.at, e.value)) (Heap.pop t.heap)
 
+let shrink t = Heap.shrink t.heap
+
 let clear t = Heap.clear t.heap

@@ -22,4 +22,8 @@ val next_time : 'a t -> Sim_time.t option
 val pop : 'a t -> (Sim_time.t * 'a) option
 (** Remove and return the earliest pending event. *)
 
+val shrink : 'a t -> unit
+(** Release backing-store slack left behind by a scheduling burst; never
+    drops events.  Useful on long-lived engines between load phases. *)
+
 val clear : 'a t -> unit

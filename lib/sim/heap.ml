@@ -1,19 +1,37 @@
+(* Elements live in boxed slots so a vacated position can be reset to
+   [Empty] without needing a dummy value of type ['a] (same storage scheme
+   as the standard library's [Dynarray]).  The extra indirection is one
+   minor-heap word per live element; in exchange [pop] genuinely releases
+   popped elements to the GC — the engine's event payloads hold closures,
+   so retaining them would leak every timer callback ever scheduled. *)
+type 'a slot = Empty | Elem of { v : 'a }
+
 type 'a t = {
   cmp : 'a -> 'a -> int;
-  mutable data : 'a array;
+  mutable data : 'a slot array;
   mutable size : int;
 }
+
+(* [clear] and first [grow] both land on this capacity, so an emptied heap
+   and a fresh one behave identically. *)
+let min_capacity = 8
 
 let create ~cmp = { cmp; data = [||]; size = 0 }
 
 let length t = t.size
 let is_empty t = t.size = 0
+let capacity t = Array.length t.data
 
-let grow t x =
+let live_slots t =
+  Array.fold_left (fun acc s -> match s with Empty -> acc | Elem _ -> acc + 1) 0 t.data
+
+let get t i = match t.data.(i) with Elem e -> e.v | Empty -> assert false
+
+let grow t =
   let capacity = Array.length t.data in
   if t.size = capacity then begin
-    let capacity' = Stdlib.max 8 (2 * capacity) in
-    let data' = Array.make capacity' x in
+    let capacity' = Stdlib.max min_capacity (2 * capacity) in
+    let data' = Array.make capacity' Empty in
     Array.blit t.data 0 data' 0 t.size;
     t.data <- data'
   end
@@ -26,7 +44,7 @@ let swap t i j =
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if t.cmp t.data.(i) t.data.(parent) < 0 then begin
+    if t.cmp (get t i) (get t parent) < 0 then begin
       swap t i parent;
       sift_up t parent
     end
@@ -36,39 +54,47 @@ let rec sift_down t i =
   let left = (2 * i) + 1 in
   let right = left + 1 in
   let smallest = ref i in
-  if left < t.size && t.cmp t.data.(left) t.data.(!smallest) < 0 then smallest := left;
-  if right < t.size && t.cmp t.data.(right) t.data.(!smallest) < 0 then smallest := right;
+  if left < t.size && t.cmp (get t left) (get t !smallest) < 0 then smallest := left;
+  if right < t.size && t.cmp (get t right) (get t !smallest) < 0 then smallest := right;
   if !smallest <> i then begin
     swap t i !smallest;
     sift_down t !smallest
   end
 
 let push t x =
-  grow t x;
-  t.data.(t.size) <- x;
+  grow t;
+  t.data.(t.size) <- Elem { v = x };
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
-let peek t = if t.size = 0 then None else Some t.data.(0)
+let peek t = if t.size = 0 then None else Some (get t 0)
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.data.(0) in
+    let top = get t 0 in
     t.size <- t.size - 1;
     if t.size > 0 then begin
       t.data.(0) <- t.data.(t.size);
       sift_down t 0
     end;
-    (* Drop the reference so the GC can reclaim popped elements. *)
-    t.data.(t.size) <- t.data.(0);
+    t.data.(t.size) <- Empty;
     Some top
   end
 
+let shrink t =
+  let target = Stdlib.max min_capacity t.size in
+  if Array.length t.data > target then begin
+    let data' = Array.make target Empty in
+    Array.blit t.data 0 data' 0 t.size;
+    t.data <- data'
+  end
+
 let clear t =
-  t.data <- [||];
+  if Array.length t.data > min_capacity then t.data <- Array.make min_capacity Empty
+  else Array.fill t.data 0 (Array.length t.data) Empty;
   t.size <- 0
 
 let to_list_unordered t =
-  let rec collect i acc = if i < 0 then acc else collect (i - 1) (t.data.(i) :: acc) in
+  let rec collect i acc = if i < 0 then acc else collect (i - 1) (get t i :: acc) in
   collect (t.size - 1) []

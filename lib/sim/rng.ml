@@ -21,10 +21,20 @@ let split t = { state = next_int64 t }
 let copy t = { state = t.state }
 
 let int t ~bound =
-  assert (bound > 0);
-  (* Keep 62 bits so the value fits OCaml's 63-bit int non-negatively. *)
-  let raw = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
-  raw mod bound
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Keep 62 bits so the value fits OCaml's 63-bit int non-negatively, then
+     rejection-sample: [raw mod bound] alone over-weights the small residues
+     whenever [bound] does not divide 2^62.  A draw is rejected exactly when
+     it falls in the incomplete top bucket [floor(2^62/bound)*bound, 2^62);
+     the wrap-around test below detects that without materialising 2^62
+     (which exceeds [max_int]).  Expected draws per call < 2, and for the
+     small bounds the simulator uses, rejection is vanishingly rare. *)
+  let rec draw () =
+    let raw = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+    let r = raw mod bound in
+    if raw - r + (bound - 1) < 0 then draw () else r
+  in
+  draw ()
 
 let int_in_range t ~lo ~hi =
   assert (lo <= hi);

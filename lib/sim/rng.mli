@@ -20,7 +20,13 @@ val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 
 val int : t -> bound:int -> int
-(** [int t ~bound] is uniform in [0, bound).  [bound] must be positive. *)
+(** [int t ~bound] is uniform in [0, bound).  [bound] must be positive.
+
+    Exactly uniform (not merely approximately): draws landing in the
+    incomplete top bucket of the 62-bit raw range are rejected and redrawn,
+    so no residue is over-weighted.  A rejection consumes an extra raw draw,
+    which makes the stream of [int] values a different — still seed-stable
+    and version-stable — stream than the pre-rejection-sampling one. *)
 
 val int_in_range : t -> lo:int -> hi:int -> int
 (** Uniform in the inclusive range [lo, hi].  Requires [lo <= hi]. *)

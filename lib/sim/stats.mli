@@ -9,6 +9,21 @@
 
 type counts = { sent : int; delivered : int; dropped : int }
 
+type lifecycle = {
+  events_executed : int;  (** events popped and executed by the engine *)
+  timers_set : int;
+  timers_fired : int;  (** fired = callback actually ran *)
+  timers_cancelled : int;
+  timers_reclaimed : int;
+      (** registry slots released when a timer's event was popped (fired,
+          cancelled, or owner crashed) — lags [timers_set] by exactly the
+          current registry residency *)
+  queue_high_water : int;  (** max pending events ever in the queue *)
+}
+(** Engine lifecycle counters: resource-accounting facts about one run,
+    complementing the per-component message counters.  Soak tests assert
+    bounded residency with these, and the sim-core bench reports them. *)
+
 type t
 
 val create : unit -> t
@@ -16,6 +31,22 @@ val create : unit -> t
 val on_send : t -> component:string -> tag:string -> unit
 val on_deliver : t -> component:string -> tag:string -> unit
 val on_drop : t -> component:string -> tag:string -> unit
+
+(** {2 Lifecycle accounting (engine-internal hooks)} *)
+
+val on_event_executed : t -> unit
+val on_timer_set : t -> unit
+val on_timer_fired : t -> unit
+val on_timer_cancelled : t -> unit
+val on_timer_reclaimed : t -> unit
+
+val note_queue_depth : t -> depth:int -> unit
+(** Record the current queue depth; retains the maximum seen. *)
+
+val lifecycle : t -> lifecycle
+(** Current lifecycle counters, as an immutable snapshot. *)
+
+val pp_lifecycle : Format.formatter -> lifecycle -> unit
 
 val component_counts : t -> component:string -> counts
 (** Aggregated over all tags of the component; zeros if unknown. *)

@@ -95,6 +95,36 @@ let rng_tests =
         let r = Sim.Rng.create ~seed:9 in
         Alcotest.check_raises "empty" (Invalid_argument "Rng.choose: empty list") (fun () ->
             ignore (Sim.Rng.choose r [])));
+    tc "int stays in range for bounds near max_int" (fun () ->
+        (* Bounds this large reject roughly half the raw draws; the result
+           must still land in [0, bound). *)
+        let r = Sim.Rng.create ~seed:12 in
+        let bound = (max_int / 2) + 1 in
+        for _ = 1 to 1000 do
+          let v = Sim.Rng.int r ~bound in
+          if v < 0 || v >= bound then Alcotest.failf "out of range %d" v
+        done);
+    tc "int has no modulo bias (regression)" (fun () ->
+        (* With bound = 3 * 2^60, plain [raw mod bound] over 62-bit raws
+           maps the top 2^60 raws back onto [0, 2^60), making results below
+           2^60 land with probability 1/2 instead of 1/3.  Rejection
+           sampling restores 1/3; 10^4 samples separate the two cleanly. *)
+        let r = Sim.Rng.create ~seed:13 in
+        let bound = 3 * (1 lsl 60) in
+        let cutoff = 1 lsl 60 in
+        let hits = ref 0 in
+        let samples = 10_000 in
+        for _ = 1 to samples do
+          if Sim.Rng.int r ~bound < cutoff then incr hits
+        done;
+        let fraction = float_of_int !hits /. float_of_int samples in
+        if fraction < 0.28 || fraction > 0.39 then
+          Alcotest.failf "biased: fraction below 2^60 = %.3f (want ~1/3, biased gives ~1/2)"
+            fraction);
+    tc "int rejects non-positive bounds" (fun () ->
+        let r = Sim.Rng.create ~seed:14 in
+        Alcotest.check_raises "zero" (Invalid_argument "Rng.int: bound must be positive")
+          (fun () -> ignore (Sim.Rng.int r ~bound:0)));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -148,6 +178,57 @@ let heap_tests =
                 x = y
               | Some _, [] | None, _ :: _ -> false))
           ops);
+    Test_util.qcheck ~count:200 ~name:"a drained heap retains no slots"
+      QCheck2.Gen.(list_size (int_range 0 200) (option (int_range 0 1000)))
+      (fun ops ->
+        (* Through any interleaving, live slots track the size exactly —
+           i.e. pop really clears the vacated slot (the old implementation
+           left popped elements aliased in the array). *)
+        let h = Sim.Heap.create ~cmp:Int.compare in
+        List.for_all
+          (fun op ->
+            (match op with
+            | Some x -> Sim.Heap.push h x
+            | None -> ignore (Sim.Heap.pop h : int option));
+            Sim.Heap.live_slots h = Sim.Heap.length h)
+          ops
+        &&
+        (let rec drain () = match Sim.Heap.pop h with None -> () | Some _ -> drain () in
+         drain ();
+         Sim.Heap.length h = 0 && Sim.Heap.live_slots h = 0));
+    tc "pop clears the last slot when the heap empties" (fun () ->
+        let h = Sim.Heap.create ~cmp:Int.compare in
+        Sim.Heap.push h 1;
+        Alcotest.(check (option int)) "pop" (Some 1) (Sim.Heap.pop h);
+        Alcotest.(check int) "no retained slot" 0 (Sim.Heap.live_slots h));
+    tc "clear keeps a small capacity consistent with growth" (fun () ->
+        let h = Sim.Heap.create ~cmp:Int.compare in
+        for i = 1 to 100 do
+          Sim.Heap.push h i
+        done;
+        Alcotest.(check bool) "grew past 8" true (Sim.Heap.capacity h > 8);
+        Sim.Heap.clear h;
+        Alcotest.(check int) "small capacity" 8 (Sim.Heap.capacity h);
+        Alcotest.(check int) "empty" 0 (Sim.Heap.length h);
+        Alcotest.(check int) "no live slots" 0 (Sim.Heap.live_slots h);
+        Sim.Heap.push h 7;
+        Alcotest.(check (option int)) "usable after clear" (Some 7) (Sim.Heap.peek h));
+    tc "shrink releases burst slack without dropping elements" (fun () ->
+        let h = Sim.Heap.create ~cmp:Int.compare in
+        for i = 1 to 1000 do
+          Sim.Heap.push h i
+        done;
+        for _ = 1 to 990 do
+          ignore (Sim.Heap.pop h : int option)
+        done;
+        Alcotest.(check bool) "slack" true (Sim.Heap.capacity h >= 1000);
+        Sim.Heap.shrink h;
+        Alcotest.(check int) "tight" 10 (Sim.Heap.capacity h);
+        let rec drain acc =
+          match Sim.Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+        in
+        Alcotest.(check (list int)) "all elements intact" [ 991; 992; 993; 994; 995; 996; 997; 998; 999; 1000 ]
+          (drain []));
   ]
 
 let event_queue_tests =
@@ -172,6 +253,28 @@ let event_queue_tests =
         Alcotest.(check (option int)) "empty" None (Sim.Event_queue.next_time q);
         Sim.Event_queue.schedule q ~at:7 ();
         Alcotest.(check (option int)) "7" (Some 7) (Sim.Event_queue.next_time q));
+    Test_util.qcheck ~count:200 ~name:"random schedules drain in sorted FIFO-stable order"
+      QCheck2.Gen.(list_size (int_range 0 200) (int_range 0 20))
+      (fun times ->
+        (* Schedule values tagged with their insertion index; the drain must
+           be sorted by time and, among equal times, by insertion order. *)
+        let q = Sim.Event_queue.create () in
+        List.iteri (fun i at -> Sim.Event_queue.schedule q ~at (i, at)) times;
+        let rec drain acc =
+          match Sim.Event_queue.pop q with
+          | None -> List.rev acc
+          | Some (at, (i, at')) -> drain ((at, at', i) :: acc)
+        in
+        let drained = drain [] in
+        List.length drained = List.length times
+        && List.for_all (fun (at, at', _) -> at = at') drained
+        &&
+        let rec monotone = function
+          | (t1, _, i1) :: ((t2, _, i2) :: _ as rest) ->
+            (t1 < t2 || (t1 = t2 && i1 < i2)) && monotone rest
+          | [ _ ] | [] -> true
+        in
+        monotone drained);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -406,6 +509,80 @@ let engine_tests =
         Sim.Engine.at e 5 (fun () -> ran := true);
         Sim.Engine.run_until e 10;
         Alcotest.(check bool) "ran" true !ran);
+    tc "cancelled timer's registry slot is reclaimed when the deadline passes" (fun () ->
+        let e = mk_engine () in
+        let t = Sim.Engine.set_timer e 0 ~delay:5 (fun () -> Alcotest.fail "fired") in
+        Sim.Engine.cancel_timer e t;
+        Alcotest.(check int) "resident while pending" 1 (Sim.Engine.timer_residency e);
+        Sim.Engine.run_until e 4;
+        Alcotest.(check int) "still resident before deadline" 1 (Sim.Engine.timer_residency e);
+        Sim.Engine.run_until e 5;
+        Alcotest.(check int) "reclaimed at deadline" 0 (Sim.Engine.timer_residency e);
+        let lc = Sim.Stats.lifecycle (Sim.Engine.stats e) in
+        Alcotest.(check int) "set" 1 lc.Sim.Stats.timers_set;
+        Alcotest.(check int) "cancelled" 1 lc.Sim.Stats.timers_cancelled;
+        Alcotest.(check int) "reclaimed" 1 lc.Sim.Stats.timers_reclaimed;
+        Alcotest.(check int) "never fired" 0 lc.Sim.Stats.timers_fired);
+    tc "cancel is idempotent and stale handles are no-ops" (fun () ->
+        let e = mk_engine () in
+        let t = Sim.Engine.set_timer e 0 ~delay:2 (fun () -> ()) in
+        Sim.Engine.cancel_timer e t;
+        Sim.Engine.cancel_timer e t;
+        let lc = Sim.Stats.lifecycle (Sim.Engine.stats e) in
+        Alcotest.(check int) "counted once" 1 lc.Sim.Stats.timers_cancelled;
+        Sim.Engine.run_until e 2;
+        (* The slot is reclaimed and may be reused; the stale handle must
+           not be able to kill the new occupant. *)
+        let fired = ref false in
+        ignore (Sim.Engine.set_timer e 0 ~delay:3 (fun () -> fired := true) : Sim.Engine.timer);
+        Sim.Engine.cancel_timer e t;
+        Sim.Engine.run_until e 10;
+        Alcotest.(check bool) "new timer in reused slot fired" true !fired);
+    tc "timer lifecycle counters balance: set = fired + cancelled + crash-orphaned" (fun () ->
+        let e = mk_engine () in
+        let t1 = Sim.Engine.set_timer e 0 ~delay:3 (fun () -> ()) in
+        ignore (Sim.Engine.set_timer e 1 ~delay:4 (fun () -> ()) : Sim.Engine.timer);
+        ignore (Sim.Engine.set_timer e 2 ~delay:5 (fun () -> ()) : Sim.Engine.timer);
+        Sim.Engine.cancel_timer e t1;
+        Sim.Engine.schedule_crash e 2 ~at:1;
+        Sim.Engine.run_until e 10;
+        let lc = Sim.Stats.lifecycle (Sim.Engine.stats e) in
+        Alcotest.(check int) "set" 3 lc.Sim.Stats.timers_set;
+        Alcotest.(check int) "fired" 1 lc.Sim.Stats.timers_fired;
+        Alcotest.(check int) "cancelled" 1 lc.Sim.Stats.timers_cancelled;
+        Alcotest.(check int) "all reclaimed" 3 lc.Sim.Stats.timers_reclaimed;
+        Alcotest.(check int) "no residual slots" 0 (Sim.Engine.timer_residency e));
+    tc "every ~phase:0 fires at the current instant, then exactly once per period" (fun () ->
+        let e = mk_engine () in
+        let fired = ref [] in
+        ignore
+          (Sim.Engine.every e 0 ~phase:0 ~period:10 (fun () ->
+               fired := Sim.Engine.now e :: !fired)
+            : unit -> unit);
+        Sim.Engine.run_until e 30;
+        Alcotest.(check (list int)) "instants" [ 0; 10; 20; 30 ] (List.rev !fired));
+    tc "stopping 'every' cancels the armed occurrence" (fun () ->
+        let e = mk_engine () in
+        let stop = Sim.Engine.every e 0 ~phase:0 ~period:10 (fun () -> ()) in
+        Sim.Engine.run_until e 15;
+        stop ();
+        let lc = Sim.Stats.lifecycle (Sim.Engine.stats e) in
+        Alcotest.(check int) "armed occurrence cancelled" 1 lc.Sim.Stats.timers_cancelled;
+        Sim.Engine.run_until e 20;
+        Alcotest.(check int) "and reclaimed at its deadline" 0 (Sim.Engine.timer_residency e));
+    tc "timer table capacity is bounded by peak in-flight timers" (fun () ->
+        let e = mk_engine () in
+        (* 1000 sequential set/fire rounds never hold more than one timer at
+           a time, so the registry must not grow past its first block. *)
+        let rec chain k =
+          if k > 0 then
+            ignore (Sim.Engine.set_timer e 0 ~delay:1 (fun () -> chain (k - 1)) : Sim.Engine.timer)
+        in
+        chain 1000;
+        Sim.Engine.run_until e 1001;
+        let lc = Sim.Stats.lifecycle (Sim.Engine.stats e) in
+        Alcotest.(check int) "all 1000 set" 1000 lc.Sim.Stats.timers_set;
+        Alcotest.(check bool) "capacity stays tiny" true (Sim.Engine.timer_table_capacity e <= 16));
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -90,6 +90,58 @@ let soak_tests =
           (List.for_all (( = ) (List.hd logs)) logs);
         Alcotest.(check (option int)) "all 40 increments survived" (Some 40)
           (Kv.get store 0 ~key:0));
+    tc "10^6 events with 10^5 cancellations: timer table and heap stay bounded" (fun () ->
+        (* The engine-core soak: timer-dominated churn (timers record no
+           trace, so memory pressure is pure engine state).  Every tick each
+           process arms two timers and cancels one; before the registry
+           rework, each cancellation left a hashtable entry behind forever,
+           so this run would have accumulated >3*10^5 dead entries. *)
+        let n = 8 in
+        let engine = Sim.Engine.create ~seed:7 ~n ~link:(Sim.Link.synchronous ~delay:1) () in
+        let max_residency = ref 0 in
+        List.iter
+          (fun p ->
+            ignore
+              (Sim.Engine.every engine p ~phase:0 ~period:1 (fun () ->
+                   let doomed = Sim.Engine.set_timer engine p ~delay:3 (fun () -> ()) in
+                   ignore
+                     (Sim.Engine.set_timer engine p ~delay:2 (fun () -> ())
+                       : Sim.Engine.timer);
+                   Sim.Engine.cancel_timer engine doomed;
+                   let r = Sim.Engine.timer_residency engine in
+                   if r > !max_residency then max_residency := r)
+                : unit -> unit))
+          (Sim.Pid.all ~n);
+        let steps = ref 0 in
+        while !steps < 1_000_000 && Sim.Engine.step engine do
+          incr steps
+        done;
+        let lc = Sim.Stats.lifecycle (Sim.Engine.stats engine) in
+        Alcotest.(check bool) "ran >= 10^6 events" true (lc.Sim.Stats.events_executed >= 1_000_000);
+        Alcotest.(check bool)
+          (Printf.sprintf "ran >= 10^5 cancellations (got %d)" lc.Sim.Stats.timers_cancelled)
+          true
+          (lc.Sim.Stats.timers_cancelled >= 100_000);
+        (* Residency bounded by in-flight timers: at most 2 fresh timers per
+           process per tick over a 3-tick window, plus the periodic driver —
+           nowhere near the 3*10^5 cancellations issued. *)
+        let bound = n * 7 in
+        Alcotest.(check bool)
+          (Printf.sprintf "timer-table residency bounded (max %d <= %d)" !max_residency bound)
+          true (!max_residency <= bound);
+        Alcotest.(check bool)
+          (Printf.sprintf "slot reuse keeps the table small (capacity %d)"
+             (Sim.Engine.timer_table_capacity engine))
+          true
+          (Sim.Engine.timer_table_capacity engine <= bound);
+        (* Conservation: every set timer was reclaimed or is still pending. *)
+        Alcotest.(check int) "set = reclaimed + resident" lc.Sim.Stats.timers_set
+          (lc.Sim.Stats.timers_reclaimed + Sim.Engine.timer_residency engine);
+        (* The event queue's high-water mark is a burst bound, not O(run). *)
+        Alcotest.(check bool)
+          (Printf.sprintf "queue high-water bounded (%d)" lc.Sim.Stats.queue_high_water)
+          true
+          (lc.Sim.Stats.queue_high_water <= n * 8));
   ]
 
 let suites = [ ("soak", soak_tests) ]
