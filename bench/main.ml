@@ -28,6 +28,7 @@ let experiments =
     ("e16", Experiments.e16);
     ("e17", Experiments.e17);
     ("e18", Experiments.e18);
+    ("e19", Experiments.e19);
     ("micro", Micro.run);
     ("sim_core", Micro.sim_core);
   ]

@@ -92,12 +92,14 @@ let sim_core () =
              if r > !max_residency then max_residency := r)
           : unit -> unit))
     (Sim.Pid.all ~n);
-  let t0 = Sys.time () in
+  let t0 = (Sys.time [@lint.allow ambient "host-CPU throughput measurement; reads no simulated state"]) () in
   let steps = ref 0 in
   while !steps < target && Sim.Engine.step engine do
     incr steps
   done;
-  let elapsed = Sys.time () -. t0 in
+  let elapsed =
+    (Sys.time [@lint.allow ambient "host-CPU throughput measurement; reads no simulated state"]) () -. t0
+  in
   let lc = Sim.Stats.lifecycle (Sim.Engine.stats engine) in
   let events_per_sec =
     if elapsed > 0.0 then float_of_int !steps /. elapsed else 0.0
@@ -183,7 +185,7 @@ let run () =
         in
         [ name; estimate; r2 ] :: acc)
       results []
-    |> List.sort compare
+    |> List.sort (List.compare String.compare)
   in
   Tables.table ~headers:[ "benchmark"; "time/run (OLS)"; "r^2" ] ~rows;
   Tables.note "Monotonic-clock OLS estimates; each run rebuilds its whole system.";

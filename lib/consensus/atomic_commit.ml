@@ -10,6 +10,8 @@ type vote =
   | Yes
   | No
 
+let vote_is_yes = function Yes -> true | No -> false
+
 let default_component = "nbac"
 
 type Sim.Payload.t += Vote_msg of vote
@@ -45,7 +47,7 @@ let maybe_propose t p =
       st.proposed <- true;
       let all_yes =
         Hashtbl.length st.votes = t.n
-        && Hashtbl.fold (fun _ v acc -> acc && v = Yes) st.votes true
+        && Hashtbl.fold (fun _ v acc -> acc && vote_is_yes v) st.votes true
       in
       t.consensus.Instance.propose p
         (value_of_outcome (if all_yes then Commit else Abort))

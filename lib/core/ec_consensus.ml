@@ -468,7 +468,7 @@ let install ?(component = component) ?(transport = `Engine) engine ~fd ~rb param
         let st = states.(p) in
         if st.phase <> Halted then begin
           let rounds = Hashtbl.fold (fun r _ acc -> r :: acc) st.services [] in
-          List.iter (fun r -> service_step p r) (List.sort compare rounds)
+          List.iter (fun r -> service_step p r) (List.sort Int.compare rounds)
         end
       end);
   let proposed = Array.make n false in

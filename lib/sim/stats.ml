@@ -107,7 +107,12 @@ let components t =
 
 type snapshot = (string * string * counts) list
 
-let snapshot t = Hashtbl.fold (fun (c, tag) v acc -> (c, tag, read v) :: acc) t.table []
+(* Sorted so the result is a pure function of the counters, independent of
+   the table's insertion history (see HACKING.md, "Determinism rules"). *)
+let snapshot t =
+  Hashtbl.fold (fun (c, tag) v acc -> (c, tag, read v) :: acc) t.table []
+  |> List.sort (fun (c1, t1, _) (c2, t2, _) ->
+         match String.compare c1 c2 with 0 -> String.compare t1 t2 | c -> c)
 
 let sent_in_snapshot snap ~component =
   List.fold_left

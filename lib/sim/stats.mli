@@ -58,7 +58,10 @@ val total : t -> counts
 val components : t -> string list
 (** All component names seen so far, sorted. *)
 
-type snapshot
+type snapshot = (string * string * counts) list
+(** Per-(component, tag) counters, sorted by (component, tag): a pure
+    function of the counts, independent of table insertion history (see
+    HACKING.md, "Determinism rules"). *)
 
 val snapshot : t -> snapshot
 

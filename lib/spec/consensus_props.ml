@@ -29,7 +29,9 @@ let uniform_integrity trace =
     (fun (p, _, _, _) ->
       Hashtbl.replace counts p (1 + Option.value ~default:0 (Hashtbl.find_opt counts p)))
     (Sim.Trace.decisions trace);
-  Hashtbl.fold (fun p c acc -> if c > 1 then Multiple_decisions p :: acc else acc) counts []
+  Hashtbl.fold (fun p c acc -> if c > 1 then p :: acc else acc) counts []
+  |> List.sort Sim.Pid.compare
+  |> List.map (fun p -> Multiple_decisions p)
 
 let uniform_agreement trace =
   match Sim.Trace.decisions trace with

@@ -1,7 +1,8 @@
 module Pair = struct
   type t = Sim.Pid.t * Sim.Pid.t
 
-  let compare = compare
+  let compare (a1, a2) (b1, b2) =
+    match Sim.Pid.compare a1 b1 with 0 -> Sim.Pid.compare a2 b2 | c -> c
 end
 
 module Pair_set = Set.Make (Pair)
@@ -21,7 +22,7 @@ let star_of ~leader ~n =
   List.concat_map
     (fun q -> if Sim.Pid.equal q leader then [] else [ (q, leader); (leader, q) ])
     (Sim.Pid.all ~n)
-  |> List.sort compare
+  |> List.sort Pair.compare
 
 let pp_links ppf links =
   Format.fprintf ppf "{%a}"

@@ -28,7 +28,7 @@ let sends_by_round trace ~component =
       Hashtbl.replace table r (1 + Option.value ~default:0 (Hashtbl.find_opt table r)))
     ();
   Hashtbl.fold (fun r c acc -> (r, c) :: acc) table []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 let sends_in_round trace ~component ~round =
   fold_sends trace ~component (fun acc r _ -> if r = round then acc + 1 else acc) 0

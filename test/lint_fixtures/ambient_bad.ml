@@ -1,0 +1,7 @@
+(* R1 fixture: every binding below must produce one [R1] finding. *)
+
+let roll () = Random.int 6
+let reseed () = Random.self_init ()
+let wall () = Unix.gettimeofday ()
+let cpu () = Sys.time ()
+let table () = Hashtbl.create ~random:true 16

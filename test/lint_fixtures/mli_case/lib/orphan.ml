@@ -1,0 +1,3 @@
+(* R5 fixture: a lib/ module with no .mli must produce one [R5] finding. *)
+
+let answer = 42

@@ -1,0 +1,14 @@
+(* R4 fixture: [Dead_kind] (never constructed) and [Dropped_kind]
+   (constructed but never matched) must each produce one [R4] finding;
+   [Healthy] must produce none. *)
+
+type Sim.Payload.t +=
+  | Dead_kind of int
+  | Dropped_kind
+  | Healthy
+
+let send () =
+  ignore Dropped_kind;
+  ignore Healthy
+
+let recv = function Healthy -> true | _ -> false

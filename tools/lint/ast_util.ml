@@ -1,0 +1,47 @@
+(* Small parsetree helpers shared by the rules. *)
+
+let flatten lid = Longident.flatten lid
+
+(* Path components with a leading [Stdlib] stripped, so [Stdlib.Random.int]
+   and [Random.int] look alike to the rules. *)
+let path lid =
+  match flatten lid with "Stdlib" :: rest when rest <> [] -> rest | p -> p
+
+let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: t -> drop (n - 1) t
+
+let has_suffix ~suffix p =
+  let lp = List.length p and ls = List.length suffix in
+  lp >= ls && List.equal String.equal suffix (drop (lp - ls) p)
+
+(* The head identifier path of an expression, if it is one. *)
+let ident_path (e : Parsetree.expression) =
+  match e.pexp_desc with Pexp_ident { txt; _ } -> Some (path txt) | _ -> None
+
+(* The function position of an application (seeing through nothing); for
+   [f a b] returns [f]'s path. *)
+let apply_head (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_apply (f, _) -> ident_path f
+  | Pexp_ident _ -> ident_path e
+  | _ -> None
+
+let last_component lid =
+  match List.rev (flatten lid) with [] -> None | x :: _ -> Some x
+
+(* Run [f] on every sub-expression of [e], including [e] itself. *)
+let iter_expressions f e =
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self x ->
+          f x;
+          Ast_iterator.default_iterator.expr self x);
+    }
+  in
+  it.expr it e
+
+let expr_exists pred e =
+  let found = ref false in
+  iter_expressions (fun x -> if (not !found) && pred x then found := true) e;
+  !found

@@ -1,0 +1,84 @@
+(* File discovery, parsing, rule execution and suppression filtering. *)
+
+let normalise path =
+  String.concat "/" (String.split_on_char Filename.dir_sep.[0] path)
+
+let rec files_under path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.concat_map (fun entry ->
+           if String.length entry > 0 && entry.[0] = '.' then []
+           else if entry = "_build" then []
+           else files_under (Filename.concat path entry))
+  else [ normalise path ]
+
+let discover roots =
+  let files = List.concat_map files_under roots in
+  let mls = List.filter (fun f -> Filename.check_suffix f ".ml") files in
+  let mlis = List.filter (fun f -> Filename.check_suffix f ".mli") files in
+  (mls, mlis)
+
+let parse_impl path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lexbuf = Lexing.from_channel ic in
+      Lexing.set_filename lexbuf path;
+      Parse.implementation lexbuf)
+
+(* Run every registered rule over [roots] (files or directories).  Returns
+   the surviving findings, sorted.  Parse failures surface as [PARSE]
+   findings so a broken file can never silently pass the linter. *)
+let run roots =
+  let mls, mlis = discover roots in
+  let sources, parse_findings =
+    List.fold_left
+      (fun (sources, findings) path ->
+        match parse_impl path with
+        | structure -> ({ Rules.path; structure } :: sources, findings)
+        | exception exn ->
+          let msg =
+            match Location.error_of_exn exn with
+            | Some (`Ok (e : Location.error)) ->
+              Format.asprintf "%a" Location.print_report e
+            | _ -> Printexc.to_string exn
+          in
+          ( sources,
+            {
+              Finding.file = path;
+              line = 1;
+              col = 0;
+              offset = 0;
+              rule = "PARSE";
+              key = "parse";
+              msg;
+            }
+            :: findings ))
+      ([], []) mls
+  in
+  let sources = List.rev sources in
+  let project = { Rules.sources; mls; mlis } in
+  let suppressions =
+    List.map (fun (src : Rules.source) -> (src.path, Suppress.collect src)) sources
+  in
+  let suppression_findings =
+    List.concat_map (fun (_, (s : Suppress.t)) -> s.findings) suppressions
+  in
+  let rule_findings =
+    List.concat_map
+      (fun (rule : Rules.t) ->
+        match rule.scope with
+        | File check -> List.concat_map check sources
+        | Project check -> check project)
+      Registry.all
+  in
+  let surviving =
+    List.filter
+      (fun (f : Finding.t) ->
+        match List.assoc_opt f.file suppressions with
+        | Some s -> not (Suppress.is_suppressed s f)
+        | None -> true)
+      rule_findings
+  in
+  List.sort_uniq Finding.compare (parse_findings @ suppression_findings @ surviving)

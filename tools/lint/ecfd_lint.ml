@@ -1,0 +1,44 @@
+(* ecfd-lint: the repo's determinism & simulation-hygiene static analysis.
+
+     ecfd_lint [--list-rules] [PATH ...]
+
+   Scans every .ml/.mli under the given files/directories (default:
+   lib bin bench), prints findings as "file:line: [RULE] message" and exits
+   non-zero if there are any.  See HACKING.md, "Determinism rules". *)
+
+open Lint_core
+
+let usage () =
+  prerr_endline "usage: ecfd_lint [--list-rules] [PATH ...]   (default paths: lib bin bench)";
+  exit 2
+
+let list_rules () =
+  List.iter
+    (fun (r : Rules.t) -> Printf.printf "%-4s %-10s %s\n" r.id r.key r.doc)
+    Registry.all;
+  print_string "LINT lint       a [@lint.allow] attribute itself is malformed or lacks a reason\n"
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.mem "--help" args || List.mem "-h" args then usage ();
+  if List.mem "--list-rules" args then begin
+    list_rules ();
+    exit 0
+  end;
+  let roots = match args with [] -> [ "lib"; "bin"; "bench" ] | _ -> args in
+  List.iter
+    (fun r ->
+      if not (Sys.file_exists r) then begin
+        Printf.eprintf "ecfd-lint: no such file or directory: %s\n" r;
+        exit 2
+      end)
+    roots;
+  let findings = Driver.run roots in
+  List.iter (fun f -> print_endline (Finding.to_string f)) findings;
+  match List.length findings with
+  | 0 ->
+    Printf.eprintf "ecfd-lint: clean (%d rule(s) over %s)\n" (List.length Registry.all)
+      (String.concat " " roots)
+  | n ->
+    Printf.eprintf "ecfd-lint: %d finding(s)\n" n;
+    exit 1

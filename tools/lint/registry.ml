@@ -1,0 +1,10 @@
+(* The rule registry — the one place a new rule is added. *)
+
+let all : Rules.t list =
+  [
+    Rule_ambient.rule;  (* R1 *)
+    Rule_unordered.rule;  (* R2 *)
+    Rule_polycmp.rule;  (* R3 *)
+    Rule_payload.rule;  (* R4 *)
+    Rule_mli.rule;  (* R5 *)
+  ]

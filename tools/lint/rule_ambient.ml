@@ -1,0 +1,82 @@
+(* R1 — no ambient nondeterminism.
+
+   The simulator's contract (engine.mli) is that a run is a pure function
+   of (seed, configuration, component code).  Ambient randomness and wall
+   clocks break that silently, so they are banned everywhere except the
+   seeded generator itself: randomness must flow through [Sim.Rng], time
+   through [Sim_time] / the engine clock. *)
+
+let rule_id = "R1"
+let key = "ambient"
+
+(* The one module allowed to be built on ambient-looking primitives. *)
+let exempt_file path = Filename.basename path = "rng.ml"
+
+let banned_paths =
+  [
+    ([ "Unix"; "time" ], "Unix.time reads the wall clock; use Sim_time / Engine.now");
+    ( [ "Unix"; "gettimeofday" ],
+      "Unix.gettimeofday reads the wall clock; use Sim_time / Engine.now" );
+    ([ "Sys"; "time" ], "Sys.time reads the process clock; use Sim_time / Engine.now");
+  ]
+
+let check (src : Rules.source) =
+  if exempt_file src.path then []
+  else begin
+    let findings = ref [] in
+    let flag loc msg =
+      findings := Finding.of_loc ~rule:rule_id ~key ~msg loc :: !findings
+    in
+    let check_expr (e : Parsetree.expression) =
+      match e.pexp_desc with
+      | Pexp_ident { txt; loc } -> (
+        let p = Ast_util.path txt in
+        match p with
+        | "Random" :: _ ->
+          flag loc
+            (Printf.sprintf
+               "ambient nondeterminism: %s; all randomness must flow through the \
+                seeded Sim.Rng"
+               (String.concat "." p))
+        | _ -> (
+          match List.find_opt (fun (bad, _) -> bad = p) banned_paths with
+          | Some (_, msg) -> flag loc ("ambient nondeterminism: " ^ msg)
+          | None -> ()))
+      | Pexp_apply (f, args) -> (
+        match Ast_util.ident_path f with
+        | Some p when Ast_util.has_suffix ~suffix:[ "Hashtbl"; "create" ] p ->
+          List.iter
+            (fun ((label : Asttypes.arg_label), (arg : Parsetree.expression)) ->
+              match label with
+              | Labelled "random" | Optional "random" ->
+                flag arg.pexp_loc
+                  "ambient nondeterminism: Hashtbl.create ~random randomises \
+                   iteration order per run; drop the flag"
+              | _ -> ())
+            args
+        | _ -> ())
+      | _ -> ()
+    in
+    let open Ast_iterator in
+    let it =
+      {
+        default_iterator with
+        expr =
+          (fun self e ->
+            check_expr e;
+            default_iterator.expr self e);
+      }
+    in
+    it.structure it src.structure;
+    !findings
+  end
+
+let rule : Rules.t =
+  {
+    id = rule_id;
+    key;
+    doc =
+      "no ambient nondeterminism: Stdlib.Random, Unix.time/gettimeofday, Sys.time and \
+       Hashtbl.create ~random are banned outside lib/sim/rng.ml";
+    scope = File check;
+  }

@@ -1,0 +1,96 @@
+(* R3 — no polymorphic comparison on domain types.
+
+   [Pid.t], [Sim_time.t] and [Value.t] expose their own [compare]/[equal];
+   structural compare on them (or on values built from them) works today
+   only by accident of representation and breaks the moment one becomes a
+   record or adds metadata.  Without type information a parsetree pass
+   cannot see every such use, so the rule pins down the syntactic shapes
+   that caused real bugs:
+
+     - any reference to bare [compare] / [Stdlib.compare] (as a sort
+       comparator or otherwise) — use the domain module's compare;
+     - a comparison operator with a protected constant operand
+       ([Value.null], [Sim_time.zero]) — use [Value.is_null],
+       [Sim_time.equal], ...;
+     - a comparison operator against a protected constructor (the vote
+       constructors [Yes]/[No]) — pattern-match instead.
+
+   Extend [protected_constants] / [protected_constructors] when a new
+   domain type joins the registry. *)
+
+let rule_id = "R3"
+let key = "polycmp"
+
+let comparison_ops = [ "="; "<>"; "<"; ">"; "<="; ">="; "=="; "!=" ]
+
+let protected_constants =
+  [
+    ([ "Value"; "null" ], "Value.equal/Value.is_null");
+    ([ "Sim_time"; "zero" ], "Sim_time.equal/Sim_time.compare");
+    ([ "Pid"; "Set"; "empty" ], "Pid.Set.equal/Pid.Set.is_empty");
+  ]
+
+let protected_constructors = [ "Yes"; "No" ]
+
+let protected_operand (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } ->
+    List.find_map
+      (fun (suffix, repl) ->
+        if Ast_util.has_suffix ~suffix (Ast_util.path txt) then
+          Some (String.concat "." suffix, repl)
+        else None)
+      protected_constants
+  | Pexp_construct ({ txt; _ }, _) -> (
+    match Ast_util.last_component txt with
+    | Some c when List.mem c protected_constructors ->
+      Some (c, "an explicit pattern match or a dedicated equal")
+    | _ -> None)
+  | _ -> None
+
+let check (src : Rules.source) =
+  let findings = ref [] in
+  let flag loc msg = findings := Finding.of_loc ~rule:rule_id ~key ~msg loc :: !findings in
+  let check_expr (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Pexp_ident { txt; loc } when Ast_util.path txt = [ "compare" ] ->
+      flag loc
+        "polymorphic compare: use the domain module's compare (Pid.compare, \
+         Sim_time.compare, Int.compare, String.compare, ...)"
+    | Pexp_apply (f, ((_ :: _ :: _ | [ _ ]) as args)) -> (
+      match Ast_util.ident_path f with
+      | Some [ op ] when List.mem op comparison_ops ->
+        List.iter
+          (fun (_, operand) ->
+            match protected_operand operand with
+            | Some (what, repl) ->
+              flag operand.pexp_loc
+                (Printf.sprintf
+                   "polymorphic %s applied to %s; use %s" op what repl)
+            | None -> ())
+          args
+      | _ -> ())
+    | _ -> ()
+  in
+  let open Ast_iterator in
+  let it =
+    {
+      default_iterator with
+      expr =
+        (fun self e ->
+          check_expr e;
+          default_iterator.expr self e);
+    }
+  in
+  it.structure it src.structure;
+  !findings
+
+let rule : Rules.t =
+  {
+    id = rule_id;
+    key;
+    doc =
+      "no polymorphic compare/=: bare compare is banned, and =/<> must not touch \
+       Pid.t, Sim_time.t or Value.t values — use the modules' own compare/equal";
+    scope = File check;
+  }

@@ -1,0 +1,176 @@
+(* R2 — unordered escape.
+
+   [Hashtbl.fold]/[Hashtbl.iter] enumerate buckets in an order that depends
+   on the hash seed and insertion history.  Folding a table into a list or
+   array therefore produces a value whose order is an accident — the bug
+   class behind the old nondeterministic [Stats.components].  The rule flags
+   any [Hashtbl.fold] whose accumulator starts as a list/array literal
+   unless the result is visibly sorted before escaping:
+
+     - [Hashtbl.fold f t [] |> List.sort cmp]            (pipe)
+     - [List.sort cmp (Hashtbl.fold f t [])]             (direct argument)
+     - [let xs = Hashtbl.fold f t [] in ... List.sort cmp xs ...]
+                                                         (bound, sorted later
+                                                          in the same body)
+
+   [Hashtbl.iter] callbacks that push onto a list ref ([r := x :: !r]) are
+   flagged unconditionally — rewrite as a fold, or suppress with a reason.
+
+   Aggregations whose accumulator is order-insensitive (counters, sums,
+   sets, min/max) start from a non-list literal and are not flagged. *)
+
+let rule_id = "R2"
+let key = "unordered"
+
+let sort_fns = [ "sort"; "sort_uniq"; "stable_sort"; "fast_sort" ]
+
+let is_sort_path p =
+  match List.rev p with
+  | fn :: m :: _ -> List.mem fn sort_fns && (m = "List" || m = "Array")
+  | _ -> false
+
+let head_is_sort (e : Parsetree.expression) =
+  match Ast_util.apply_head e with Some p -> is_sort_path p | None -> false
+
+let is_hashtbl_path ~fn p =
+  match List.rev p with
+  | f :: m :: _ -> f = fn && m = "Hashtbl"
+  | _ -> false
+
+let is_listy (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_construct ({ txt = Lident ("[]" | "::"); _ }, _) -> true
+  | Pexp_array _ -> true
+  | _ -> false
+
+(* [Hashtbl.fold f t init] with a list/array-literal [init]. *)
+let is_listy_fold (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_apply (f, args) -> (
+    match Ast_util.ident_path f with
+    | Some p when is_hashtbl_path ~fn:"fold" p -> (
+      match List.filter (fun ((l : Asttypes.arg_label), _) -> l = Nolabel) args with
+      | [ _; _; (_, init) ] -> is_listy init
+      | _ -> false)
+    | _ -> false)
+  | _ -> false
+
+let loc_key (l : Location.t) = (l.loc_start.pos_cnum, l.loc_end.pos_cnum)
+
+(* Does [body] apply a sort to the variable [name]?  Covers both
+   [List.sort cmp name] and [name |> List.sort cmp]. *)
+let sorted_in_body ~name body =
+  Ast_util.expr_exists
+    (fun e ->
+      match e.pexp_desc with
+      | Pexp_apply (f, args) -> (
+        let arg_is_name (_, (a : Parsetree.expression)) =
+          match a.pexp_desc with
+          | Pexp_ident { txt = Lident x; _ } -> String.equal x name
+          | _ -> false
+        in
+        match Ast_util.ident_path f with
+        | Some p when is_sort_path p -> List.exists arg_is_name args
+        | Some [ "|>" ] -> (
+          match args with
+          | [ lhs; (_, rhs) ] -> arg_is_name lhs && head_is_sort rhs
+          | _ -> false)
+        | _ -> false)
+      | _ -> false)
+    body
+
+(* An [Hashtbl.iter] whose callback pushes onto a ref with [::]. *)
+let is_accumulating_iter (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_apply (f, args) -> (
+    match Ast_util.ident_path f with
+    | Some p when is_hashtbl_path ~fn:"iter" p ->
+      List.exists
+        (fun (_, (a : Parsetree.expression)) ->
+          Ast_util.expr_exists
+            (fun x ->
+              match x.pexp_desc with
+              | Pexp_apply (op, [ _; (_, rhs) ]) ->
+                Ast_util.ident_path op = Some [ ":=" ]
+                && Ast_util.expr_exists
+                     (fun y ->
+                       match y.pexp_desc with
+                       | Pexp_construct ({ txt = Lident "::"; _ }, _) -> true
+                       | _ -> false)
+                     rhs
+              | _ -> false)
+            a)
+        args
+    | _ -> false)
+  | _ -> false
+
+let check (src : Rules.source) =
+  let sanctioned : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let sanction (e : Parsetree.expression) =
+    if is_listy_fold e then Hashtbl.replace sanctioned (loc_key e.pexp_loc) ()
+  in
+  (* Pass 1: mark folds that flow into a sort. *)
+  let mark (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Pexp_apply (f, args) -> (
+      match Ast_util.ident_path f with
+      | Some p when is_sort_path p -> List.iter (fun (_, a) -> sanction a) args
+      | Some [ "|>" ] -> (
+        match args with
+        | [ (_, lhs); (_, rhs) ] -> if head_is_sort rhs then sanction lhs
+        | _ -> ())
+      | Some [ "@@" ] -> (
+        match args with
+        | [ (_, lhs); (_, rhs) ] -> if head_is_sort lhs then sanction rhs
+        | _ -> ())
+      | _ -> ())
+    | Pexp_let (_, vbs, body) ->
+      List.iter
+        (fun (vb : Parsetree.value_binding) ->
+          match vb.pvb_pat.ppat_desc with
+          | Ppat_var { txt = name; _ }
+            when is_listy_fold vb.pvb_expr && sorted_in_body ~name body ->
+            sanction vb.pvb_expr
+          | _ -> ())
+        vbs
+    | _ -> ()
+  in
+  let findings = ref [] in
+  let flag loc msg = findings := Finding.of_loc ~rule:rule_id ~key ~msg loc :: !findings in
+  let flag_pass (e : Parsetree.expression) =
+    if is_listy_fold e && not (Hashtbl.mem sanctioned (loc_key e.pexp_loc)) then
+      flag e.pexp_loc
+        "unordered escape: Hashtbl.fold builds a list/array in bucket order; sort it \
+         before it escapes (e.g. |> List.sort cmp) or justify with [@lint.allow \
+         unordered \"...\"]"
+    else if is_accumulating_iter e then
+      flag e.pexp_loc
+        "unordered escape: Hashtbl.iter accumulates into a list ref in bucket order; \
+         rewrite as Hashtbl.fold + sort or justify with [@lint.allow unordered \"...\"]"
+  in
+  let run f =
+    let open Ast_iterator in
+    let it =
+      {
+        default_iterator with
+        expr =
+          (fun self e ->
+            f e;
+            default_iterator.expr self e);
+      }
+    in
+    it.structure it src.structure
+  in
+  run mark;
+  run flag_pass;
+  !findings
+
+let rule : Rules.t =
+  {
+    id = rule_id;
+    key;
+    doc =
+      "unordered escape: a Hashtbl.fold/iter that builds a list or array must sort it \
+       before the value leaves the enclosing function";
+    scope = File check;
+  }

@@ -1,0 +1,29 @@
+(* The rule registry's types.  A rule is either per-file (sees one parsed
+   implementation) or project-wide (sees every parsed file plus the raw
+   file listing, for cross-file and filesystem checks).
+
+   To add a rule: write a [Rules.t] in its own module and append it to
+   [Registry.all].  Suppression ([@lint.allow <key> "reason"]) and output
+   formatting come for free. *)
+
+type source = {
+  path : string;  (** Path as handed to the driver (and printed). *)
+  structure : Parsetree.structure;
+}
+
+type project = {
+  sources : source list;  (** Every successfully parsed [.ml]. *)
+  mls : string list;  (** Every [.ml] found, normalised with ['/']. *)
+  mlis : string list;  (** Every [.mli] found, normalised with ['/']. *)
+}
+
+type scope =
+  | File of (source -> Finding.t list)
+  | Project of (project -> Finding.t list)
+
+type t = {
+  id : string;  (** Printed in findings: [R1], [R2], ... *)
+  key : string;  (** Suppression key: [@lint.allow <key> "reason"]. *)
+  doc : string;  (** One-line description for [--list-rules]. *)
+  scope : scope;
+}

@@ -1,0 +1,110 @@
+(* Per-site suppression: [@lint.allow <rule-key> "reason"].
+
+   The attribute may sit on an expression, a value binding, an extension
+   constructor, a type extension, or float at the top of a file
+   ([@@@lint.allow ...] suppresses the rule for the whole file).  A finding
+   is dropped when its location falls inside the span of a node carrying an
+   allow for its rule.  The reason string is mandatory: an allow without
+   one is itself reported (rule [LINT]). *)
+
+type span = { key : string; left : int; right : int }
+
+type t = { spans : span list; findings : Finding.t list }
+
+let attr_name = "lint.allow"
+
+(* Payload forms accepted:
+     [@lint.allow key "reason"]   -> Some (key, Some reason)
+     [@lint.allow key]            -> Some (key, None)       (missing reason)
+   anything else                  -> None                   (malformed)    *)
+let parse_payload (attr : Parsetree.attribute) =
+  match attr.attr_payload with
+  | PStr [ { pstr_desc = Pstr_eval (e, _); _ } ] -> (
+    match e.pexp_desc with
+    | Pexp_ident { txt = Lident key; _ } -> Some (key, None)
+    | Pexp_apply
+        ( { pexp_desc = Pexp_ident { txt = Lident key; _ }; _ },
+          [ (Nolabel, { pexp_desc = Pexp_constant (Pconst_string (reason, _, _)); _ }) ] )
+      ->
+      Some (key, Some reason)
+    | _ -> None)
+  | _ -> None
+
+let collect (src : Rules.source) =
+  let spans = ref [] and findings = ref [] in
+  let note_attrs ~(span : Location.t) (attrs : Parsetree.attributes) =
+    List.iter
+      (fun (attr : Parsetree.attribute) ->
+        if String.equal attr.attr_name.txt attr_name then
+          match parse_payload attr with
+          | Some (key, Some reason) when String.trim reason <> "" ->
+            spans :=
+              { key; left = span.loc_start.pos_cnum; right = span.loc_end.pos_cnum }
+              :: !spans
+          | Some (key, _) ->
+            findings :=
+              Finding.of_loc ~rule:"LINT" ~key:"lint"
+                ~msg:
+                  (Printf.sprintf
+                     "[@lint.allow %s] needs a non-empty reason string, e.g. \
+                      [@lint.allow %s \"why this site is safe\"]"
+                     key key)
+                attr.attr_loc
+              :: !findings
+          | None ->
+            findings :=
+              Finding.of_loc ~rule:"LINT" ~key:"lint"
+                ~msg:"malformed [@lint.allow]: expected <rule-key> \"reason\""
+                attr.attr_loc
+              :: !findings)
+      attrs
+  in
+  let whole_file : Location.t ->
+      Parsetree.attributes -> unit =
+   fun _ attrs ->
+    (* Floating attribute: suppress for the entire file. *)
+    note_attrs
+      ~span:
+        {
+          loc_start = { pos_fname = src.path; pos_lnum = 1; pos_bol = 0; pos_cnum = 0 };
+          loc_end = { pos_fname = src.path; pos_lnum = max_int; pos_bol = 0; pos_cnum = max_int };
+          loc_ghost = false;
+        }
+      attrs
+  in
+  let open Ast_iterator in
+  let it =
+    {
+      default_iterator with
+      expr =
+        (fun self e ->
+          note_attrs ~span:e.pexp_loc e.pexp_attributes;
+          default_iterator.expr self e);
+      value_binding =
+        (fun self vb ->
+          note_attrs ~span:vb.pvb_loc vb.pvb_attributes;
+          default_iterator.value_binding self vb);
+      extension_constructor =
+        (fun self ec ->
+          note_attrs ~span:ec.pext_loc ec.pext_attributes;
+          default_iterator.extension_constructor self ec);
+      type_extension =
+        (fun self te ->
+          note_attrs ~span:te.ptyext_loc te.ptyext_attributes;
+          default_iterator.type_extension self te);
+      structure_item =
+        (fun self item ->
+          (match item.pstr_desc with
+          | Pstr_attribute attr -> whole_file item.pstr_loc [ attr ]
+          | Pstr_eval (_, attrs) -> note_attrs ~span:item.pstr_loc attrs
+          | _ -> ());
+          default_iterator.structure_item self item);
+    }
+  in
+  it.structure it src.structure;
+  { spans = !spans; findings = !findings }
+
+let is_suppressed t (f : Finding.t) =
+  List.exists
+    (fun s -> String.equal s.key f.key && s.left <= f.offset && f.offset <= s.right)
+    t.spans
