@@ -7,6 +7,48 @@ let sweep_ns = [ 4; 8; 16; 32 ]
 let seeds = [ 1; 2; 3; 4; 5 ]
 
 (* ------------------------------------------------------------------ *)
+(* Parallel grids                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Every experiment enumerates its (subject, seed, n) grid as pure job
+   closures and runs them through the domain pool: each job builds its own
+   engine from explicit inputs and returns plain data; no job prints or
+   touches state shared with another job.  [Exec.Pool.run] hands results
+   back in grid order whatever the domain count, and all table rendering
+   happens afterwards on the calling domain — so the harness output is
+   byte-identical at ECFD_DOMAINS=1 and ECFD_DOMAINS=8. *)
+
+let par_map xs f = Exec.Pool.run (List.map (fun x () -> f x) xs)
+
+(* Regroup a flat grid-order result list into rows of [k]. *)
+let rec chunk k = function
+  | [] -> []
+  | flat ->
+    let rec take i acc rest =
+      match (i, rest) with
+      | 0, _ -> (List.rev acc, rest)
+      | _, x :: rest -> take (i - 1) (x :: acc) rest
+      | _, [] -> invalid_arg "Experiments.chunk: ragged grid"
+    in
+    let row, rest = take k [] flat in
+    row :: chunk k rest
+
+(* The full [xs × ys] grid as one job list; results come back as one list
+   per [x] (in [ys] order), so call sites can render per-row aggregates. *)
+let par_map2 xs ys f =
+  chunk (List.length ys)
+    (Exec.Pool.run (List.concat_map (fun x -> List.map (fun y () -> f x y) ys) xs))
+
+let par_map3 xs ys zs f =
+  let flat =
+    Exec.Pool.run
+      (List.concat_map
+         (fun x -> List.concat_map (fun y -> List.map (fun z () -> f x y z) zs) ys)
+         xs)
+  in
+  List.map (chunk (List.length zs)) (chunk (List.length ys * List.length zs) flat)
+
+(* ------------------------------------------------------------------ *)
 (* E1 — Fig. 1 + Definition 1: the class matrix                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -66,11 +108,12 @@ let e1 () =
     Spec.Fd_props.make_run ~component:(Fd.Fd_handle.component handle) ~n (Sim.Engine.trace engine)
   in
   let headers = [ "detector (claimed class)"; "SC"; "WC"; "<>SA"; "<>WA"; "leader"; "t!in!s" ] in
+  (* One simulation per (subject, seed) pair, all six properties evaluated
+     on it; the whole grid runs through the pool at once. *)
+  let runs_by_subject = par_map2 subjects seeds run_subject in
   let rows =
-    List.map
-      (fun subject ->
-        (* One simulation per seed, all six properties evaluated on it. *)
-        let runs = List.map (run_subject subject) seeds in
+    List.map2
+      (fun subject runs ->
         let cell prop =
           let ok =
             List.for_all (fun run -> (Spec.Fd_props.check prop run).Spec.Fd_props.holds) runs
@@ -84,7 +127,7 @@ let e1 () =
         in
         Printf.sprintf "%s: %s" subject.label (Fd.Classes.name subject.claimed)
         :: List.map cell Fd.Classes.all_properties)
-      subjects
+      subjects runs_by_subject
   in
   Tables.table ~headers ~rows;
   Tables.note
@@ -131,21 +174,35 @@ let e2 () =
     ignore (Ecfd.Ec_to_p.install_piggybacked engine ~hooks ~underlying:ec Ecfd.Ec_to_p.default_params)
   in
   let fd_components = [ Fd.Leader_s.component; Ecfd.Ec_to_p.component ] in
+  let variants =
+    [
+      ([ Fd.Heartbeat_p.component ], heartbeat);
+      ([ Fd.Ring_s.component ], ring);
+      (fd_components, standalone);
+      (fd_components, piggyback);
+    ]
+  in
+  let measured =
+    par_map2 sweep_ns variants (fun n (components, build) ->
+        period_cost ~n ~periods:50 ~component:components build)
+  in
   let rows =
-    List.concat_map
-      (fun n ->
-        let measure components build = period_cost ~n ~periods:50 ~component:components build in
-        [
-          [ Tables.fi n; "Chandra-Toueg <>P [6]"; Printf.sprintf "n(n-1) = %d" (n * (n - 1));
-            Tables.ff (measure [ Fd.Heartbeat_p.component ] heartbeat) ];
-          [ ""; "ring <>S/<>P [15]"; Printf.sprintf "2n = %d" (2 * n);
-            Tables.ff (measure [ Fd.Ring_s.component ] ring) ];
-          [ ""; "Fig. 2 stand-alone (+ leader <>S)"; Printf.sprintf "3(n-1) = %d" (3 * (n - 1));
-            Tables.ff (measure fd_components standalone) ];
-          [ ""; "Fig. 2 piggybacked (+ leader <>S)"; Printf.sprintf "2(n-1) = %d" (2 * (n - 1));
-            Tables.ff (measure fd_components piggyback) ];
-        ])
-      sweep_ns
+    List.concat
+      (List.map2
+         (fun n cells ->
+           match cells with
+           | [ hb; rg; sa; pb ] ->
+             [
+               [ Tables.fi n; "Chandra-Toueg <>P [6]"; Printf.sprintf "n(n-1) = %d" (n * (n - 1));
+                 Tables.ff hb ];
+               [ ""; "ring <>S/<>P [15]"; Printf.sprintf "2n = %d" (2 * n); Tables.ff rg ];
+               [ ""; "Fig. 2 stand-alone (+ leader <>S)"; Printf.sprintf "3(n-1) = %d" (3 * (n - 1));
+                 Tables.ff sa ];
+               [ ""; "Fig. 2 piggybacked (+ leader <>S)"; Printf.sprintf "2(n-1) = %d" (2 * (n - 1));
+                 Tables.ff pb ];
+             ]
+           | _ -> assert false)
+         sweep_ns measured)
   in
   Tables.table ~headers:[ "n"; "implementation"; "paper"; "measured" ] ~rows;
   Tables.note "The paper's claim: the piggybacked construction costs 2(n-1) per period,";
@@ -178,17 +235,26 @@ let e3 () =
       (Ecfd.Ec_to_p.install_piggybacked engine ~hooks ~underlying:ec Ecfd.Ec_to_p.default_params)
   in
   let heartbeat engine = ignore (Fd.Heartbeat_p.install engine Fd.Heartbeat_p.default_params) in
-  let avg f = Tables.ff (Tables.mean (List.filter_map f seeds)) in
+  let ns = [ 8; 16; 32 ] in
+  let detectors =
+    [
+      (ring, Fd.Ring_s.component);
+      (transform, Ecfd.Ec_to_p.component);
+      (heartbeat, Fd.Heartbeat_p.component);
+    ]
+  in
+  let grid =
+    par_map3 ns detectors seeds (fun n (build, component) seed ->
+        latency ~n ~seed build component)
+  in
   let rows =
-    List.map
-      (fun n ->
-        [
-          Tables.fi n;
-          avg (fun seed -> latency ~n ~seed ring Fd.Ring_s.component);
-          avg (fun seed -> latency ~n ~seed transform Ecfd.Ec_to_p.component);
-          avg (fun seed -> latency ~n ~seed heartbeat Fd.Heartbeat_p.component);
-        ])
-      [ 8; 16; 32 ]
+    List.map2
+      (fun n per_detector ->
+        Tables.fi n
+        :: List.map
+             (fun per_seed -> Tables.ff (Tables.mean (List.filter_map Fun.id per_seed)))
+             per_detector)
+      ns grid
   in
   Tables.table
     ~headers:[ "n"; "ring <>S/<>P [15]"; "Fig. 2 transformation"; "heartbeat <>P [6]" ]
@@ -229,28 +295,30 @@ let e4 () =
         fun n -> Printf.sprintf "n^2 ~ %d" ((n - 1) + (n * (n - 1))) );
     ]
   in
+  let cells =
+    par_map2 sweep_ns cases (fun n (_, protocol, _) ->
+        let r = stable_round_run ~n ~protocol in
+        ( r.Scenario.instance.Consensus.Instance.phases_per_round,
+          Spec.Round_metrics.sends_in_round r.Scenario.trace
+            ~component:(protocol_component protocol) ~round:1,
+          Spec.Consensus_props.decision_round r.Scenario.trace ))
+  in
   let rows =
-    List.concat_map
-      (fun n ->
-        List.map
-          (fun (label, protocol, paper) ->
-            let r = stable_round_run ~n ~protocol in
-            let round1 =
-              Spec.Round_metrics.sends_in_round r.Scenario.trace
-                ~component:(protocol_component protocol) ~round:1
-            in
-            [
-              Tables.fi n;
-              label;
-              Tables.fi r.Scenario.instance.Consensus.Instance.phases_per_round;
-              paper n;
-              Tables.fi round1;
-              (match Spec.Consensus_props.decision_round r.Scenario.trace with
-              | Some round -> Tables.fi round
-              | None -> "-");
-            ])
-          cases)
-      sweep_ns
+    List.concat
+      (List.map2
+         (fun n per_case ->
+           List.map2
+             (fun (label, _, paper) (phases, round1, decided) ->
+               [
+                 Tables.fi n;
+                 label;
+                 Tables.fi phases;
+                 paper n;
+                 Tables.fi round1;
+                 (match decided with Some round -> Tables.fi round | None -> "-");
+               ])
+             cases per_case)
+         sweep_ns cells)
   in
   Tables.table
     ~headers:[ "n"; "protocol"; "phases"; "paper msgs/round"; "measured (round 1)"; "decided in" ]
@@ -281,17 +349,13 @@ let e5 () =
   List.iter
     (fun n ->
       Format.printf "  n = %d (stable leader at position i; CT's coordinator rotates):@." n;
+      let leaders = List.init n Fun.id in
+      let grid =
+        par_map2 leaders [ Scenario.Ct; Scenario.Hr; ec; Scenario.Mr ]
+          (fun leader protocol -> decision_round ~n ~leader protocol)
+      in
       let rows =
-        List.map
-          (fun leader ->
-            [
-              Tables.fi (leader + 1);
-              decision_round ~n ~leader Scenario.Ct;
-              decision_round ~n ~leader Scenario.Hr;
-              decision_round ~n ~leader ec;
-              decision_round ~n ~leader Scenario.Mr;
-            ])
-          (List.init n Fun.id)
+        List.map2 (fun leader cells -> Tables.fi (leader + 1) :: cells) leaders grid
       in
       Tables.table
         ~headers:[ "leader i"; "CT <>S [6]"; "HR <>S [12]"; "<>C (paper)"; "MR Omega [20]" ]
@@ -334,16 +398,16 @@ let e6 () =
   let strict =
     { extended with Ecfd.Ec_consensus.wait_mode = Ecfd.Ec_consensus.Strict_majority }
   in
+  let nacker_counts = [ 0; 1; 2; 3 ] in
+  let cells =
+    par_map2 nacker_counts [ `Extended; `Strict; `Ct ] (fun nackers variant ->
+        match variant with
+        | `Extended -> run_with_nackers ~nackers () (fun e fd rb () -> ec extended e fd rb ())
+        | `Strict -> run_with_nackers ~nackers () (fun e fd rb () -> ec strict e fd rb ())
+        | `Ct -> run_with_nackers ~nackers () (fun e fd rb () -> ct e fd rb ()))
+  in
   let rows =
-    List.map
-      (fun nackers ->
-        [
-          Tables.fi nackers;
-          run_with_nackers ~nackers () (fun e fd rb () -> ec extended e fd rb ());
-          run_with_nackers ~nackers () (fun e fd rb () -> ec strict e fd rb ());
-          run_with_nackers ~nackers () (fun e fd rb () -> ct e fd rb ());
-        ])
-      [ 0; 1; 2; 3 ]
+    List.map2 (fun nackers cells -> Tables.fi nackers :: cells) nacker_counts cells
   in
   Tables.table
     ~headers:[ "persistent nackers"; "<>C extended wait"; "<>C strict (ablation)"; "CT <>S [6]" ]
@@ -365,24 +429,28 @@ let e7 () =
   let merged =
     Scenario.Ec { Ecfd.Ec_consensus.default_params with merge_phase01 = true }
   in
+  let cells =
+    par_map2 sweep_ns [ classic; merged ] (fun n protocol ->
+        let r = stable_round_run ~n ~protocol in
+        ( r.Scenario.instance.Consensus.Instance.phases_per_round,
+          Spec.Round_metrics.sends_in_round r.Scenario.trace
+            ~component:Ecfd.Ec_consensus.component ~round:1 ))
+  in
   let rows =
-    List.concat_map
-      (fun n ->
-        let measure protocol =
-          let r = stable_round_run ~n ~protocol in
-          ( r.Scenario.instance.Consensus.Instance.phases_per_round,
-            Spec.Round_metrics.sends_in_round r.Scenario.trace
-              ~component:Ecfd.Ec_consensus.component ~round:1 )
-        in
-        let cphases, cmsgs = measure classic in
-        let mphases, mmsgs = measure merged in
-        [
-          [ Tables.fi n; "classic (Figs. 3-4)"; Tables.fi cphases;
-            Printf.sprintf "Theta(n) = %d" (4 * (n - 1)); Tables.fi cmsgs ];
-          [ ""; "phases 0+1 merged"; Tables.fi mphases;
-            Printf.sprintf "Omega(n^2) = %d" ((n * (n - 1)) + (2 * (n - 1))); Tables.fi mmsgs ];
-        ])
-      sweep_ns
+    List.concat
+      (List.map2
+         (fun n per_variant ->
+           match per_variant with
+           | [ (cphases, cmsgs); (mphases, mmsgs) ] ->
+             [
+               [ Tables.fi n; "classic (Figs. 3-4)"; Tables.fi cphases;
+                 Printf.sprintf "Theta(n) = %d" (4 * (n - 1)); Tables.fi cmsgs ];
+               [ ""; "phases 0+1 merged"; Tables.fi mphases;
+                 Printf.sprintf "Omega(n^2) = %d" ((n * (n - 1)) + (2 * (n - 1)));
+                 Tables.fi mmsgs ];
+             ]
+           | _ -> assert false)
+         sweep_ns cells)
   in
   Tables.table ~headers:[ "n"; "variant"; "phases"; "paper msgs/round"; "measured" ] ~rows;
   Tables.note "Merging Phase 0 into Phase 1 (estimate straight to the leader, null";
@@ -395,20 +463,18 @@ let e7 () =
 
 let e8 () =
   Tables.heading "E8" "Cost of obtaining <>C (Section 3): free constructions vs Omega reduction";
-  let rows =
-    List.concat_map
-      (fun n ->
-        let leader_route =
+  let cells =
+    par_map2 sweep_ns [ `Leader; `Ring; `Chu ] (fun n route ->
+        match route with
+        | `Leader ->
           period_cost ~n ~periods:50 ~component:[ Fd.Leader_s.component ] (fun engine ->
               let base = Fd.Leader_s.install engine Fd.Leader_s.default_params in
               ignore (Ecfd.Ec.of_leader_s base ~engine))
-        in
-        let ring_route =
+        | `Ring ->
           period_cost ~n ~periods:50 ~component:[ Fd.Ring_s.component ] (fun engine ->
               let base = Fd.Ring_s.install engine Fd.Ring_s.default_params in
               ignore (Ecfd.Ec.of_ring base ~engine))
-        in
-        let chu_route_total =
+        | `Chu ->
           period_cost ~n ~periods:50
             ~component:[ Fd.Ring_s.component; Fd.Omega_from_s.component ]
             (fun engine ->
@@ -416,18 +482,25 @@ let e8 () =
               let omega =
                 Fd.Omega_from_s.install engine ~underlying:base Fd.Omega_from_s.default_params
               in
-              ignore (Ecfd.Ec.of_omega omega ~engine))
-        in
-        [
-          [ Tables.fi n; "leader <>S [16] + S3 construction"; Printf.sprintf "n-1 = %d" (n - 1);
-            Tables.ff leader_route ];
-          [ ""; "ring <>S [15] + S3 construction"; Printf.sprintf "2n = %d" (2 * n);
-            Tables.ff ring_route ];
-          [ ""; "ring <>S + Chu Omega reduction [5,7]";
-            Printf.sprintf "2n + n(n-1) = %d" ((2 * n) + (n * (n - 1)));
-            Tables.ff chu_route_total ];
-        ])
-      sweep_ns
+              ignore (Ecfd.Ec.of_omega omega ~engine)))
+  in
+  let rows =
+    List.concat
+      (List.map2
+         (fun n per_route ->
+           match per_route with
+           | [ leader_route; ring_route; chu_route_total ] ->
+             [
+               [ Tables.fi n; "leader <>S [16] + S3 construction";
+                 Printf.sprintf "n-1 = %d" (n - 1); Tables.ff leader_route ];
+               [ ""; "ring <>S [15] + S3 construction"; Printf.sprintf "2n = %d" (2 * n);
+                 Tables.ff ring_route ];
+               [ ""; "ring <>S + Chu Omega reduction [5,7]";
+                 Printf.sprintf "2n + n(n-1) = %d" ((2 * n) + (n * (n - 1)));
+                 Tables.ff chu_route_total ];
+             ]
+           | _ -> assert false)
+         sweep_ns cells)
   in
   Tables.table ~headers:[ "n"; "route to <>C"; "paper msgs/period"; "measured" ] ~rows;
   Tables.note "The Section 3 constructions over suitable <>S detectors add zero messages";
@@ -443,7 +516,7 @@ let e9 () =
   Tables.heading "E9" "Theorem 1 across random systems: transformation output is <>P";
   let trials = 50 in
   let results =
-    List.init trials (fun i ->
+    par_map (List.init trials Fun.id) (fun i ->
         let seed = 1009 * (i + 1) in
         let rng = Sim.Rng.create ~seed in
         let n = 3 + Sim.Rng.int rng ~bound:7 in
@@ -496,7 +569,7 @@ let e10 () =
   Tables.heading "E10" "Theorem 2 across random systems: <>C consensus solves Uniform Consensus";
   let trials = 100 in
   let outcomes =
-    List.init trials (fun i ->
+    par_map (List.init trials Fun.id) (fun i ->
         let seed = 7919 * (i + 1) in
         let rng = Sim.Rng.create ~seed in
         let n = 3 + Sim.Rng.int rng ~bound:7 in
@@ -592,8 +665,13 @@ let e11 () =
   let leader_install engine = ignore (Fd.Leader_s.install engine Fd.Leader_s.default_params) in
   let stable_install engine = ignore (Fd.Stable_omega.install engine Fd.Stable_omega.default_params) in
   let rows_a =
-    let collect install component =
-      let results = List.map (fun seed -> muffled_comeback ~seed install component) seeds in
+    let grid =
+      par_map2
+        [ (leader_install, Fd.Leader_s.component); (stable_install, Fd.Stable_omega.component) ]
+        seeds
+        (fun (install, component) seed -> muffled_comeback ~seed install component)
+    in
+    let collect results =
       let final_leaders =
         List.sort_uniq (Option.compare Sim.Pid.compare) (List.map (fun (l, _, _) -> l) results)
       in
@@ -606,32 +684,34 @@ let e11 () =
         changes,
         demotions )
     in
-    let pl, pc, pd = collect leader_install Fd.Leader_s.component in
-    let sl, sc, sd = collect stable_install Fd.Stable_omega.component in
-    [
-      [ "A: p1 muffled 500-900,"; "order-based [16]"; pl; Tables.ff pc; Tables.ff pd ];
-      [ "   then returns"; "stable [2]"; sl; Tables.ff sc; Tables.ff sd ];
-    ]
+    match List.map collect grid with
+    | [ (pl, pc, pd); (sl, sc, sd) ] ->
+      [
+        [ "A: p1 muffled 500-900,"; "order-based [16]"; pl; Tables.ff pc; Tables.ff pd ];
+        [ "   then returns"; "stable [2]"; sl; Tables.ff sc; Tables.ff sd ];
+      ]
+    | _ -> assert false
   in
   (* Scenario B — real crash of the leader: both should switch exactly once
      (counted at the observer after the crash instant). *)
-  let crash_failover detector =
-    let results =
-      List.map
-        (fun seed ->
-          let net = { Scenario.default_net with seed } in
-          let _, run, _ =
-            Scenario.fd_run ~net ~crashes:(Sim.Fault.crash 0 ~at:1000) ~horizon:6000 ~n
-              ~detector ()
-          in
-          ( Spec.Fd_props.leader_changes run (n - 1),
-            Spec.Fd_props.demotions_of_live_leaders run (n - 1) ))
-        seeds
-    in
-    ( Tables.mean (List.map fst results), Tables.mean (List.map snd results) )
+  let failover_grid =
+    par_map2 [ Scenario.Leader_s; Scenario.Stable_omega ] seeds (fun detector seed ->
+        let net = { Scenario.default_net with seed } in
+        let _, run, _ =
+          Scenario.fd_run ~net ~crashes:(Sim.Fault.crash 0 ~at:1000) ~horizon:6000 ~n
+            ~detector ()
+        in
+        ( Spec.Fd_props.leader_changes run (n - 1),
+          Spec.Fd_props.demotions_of_live_leaders run (n - 1) ))
   in
-  let pc, pd = crash_failover Scenario.Leader_s in
-  let sc, sd = crash_failover Scenario.Stable_omega in
+  let crash_failover results =
+    (Tables.mean (List.map fst results), Tables.mean (List.map snd results))
+  in
+  let (pc, pd), (sc, sd) =
+    match List.map crash_failover failover_grid with
+    | [ p; s ] -> (p, s)
+    | _ -> assert false
+  in
   let rows_b =
     [
       [ "B: calm net, leader"; "order-based [16]"; "p2"; Tables.ff pc; Tables.ff pd ];
@@ -675,8 +755,7 @@ let e12 () =
     Sim.Engine.run_until engine horizon;
     Spec.Fd_props.make_run ~component ~n (Sim.Engine.trace engine)
   in
-  let row label install component =
-    let runs = List.map (run_detector install component) seeds in
+  let row label runs =
     let late_changes =
       Tables.mean
         (List.map (fun run -> Spec.Fd_props.leader_changes_after run (n - 1) ~after:(horizon / 2)) runs)
@@ -698,19 +777,24 @@ let e12 () =
       Tables.ff late_false;
     ]
   in
-  let rows =
+  let detectors =
     [
-      row "counter-based Omega [3]"
-        (fun e -> ignore (Fd.Omega_source.install e Fd.Omega_source.default_params))
-        Fd.Omega_source.component;
-      row "order-based leader <>S [16]"
-        (fun e -> ignore (Fd.Leader_s.install e Fd.Leader_s.default_params))
-        Fd.Leader_s.component;
-      row "heartbeat <>P [6]"
-        (fun e -> ignore (Fd.Heartbeat_p.install e Fd.Heartbeat_p.default_params))
-        Fd.Heartbeat_p.component;
+      ( "counter-based Omega [3]",
+        (fun e -> ignore (Fd.Omega_source.install e Fd.Omega_source.default_params)),
+        Fd.Omega_source.component );
+      ( "order-based leader <>S [16]",
+        (fun e -> ignore (Fd.Leader_s.install e Fd.Leader_s.default_params)),
+        Fd.Leader_s.component );
+      ( "heartbeat <>P [6]",
+        (fun e -> ignore (Fd.Heartbeat_p.install e Fd.Heartbeat_p.default_params)),
+        Fd.Heartbeat_p.component );
     ]
   in
+  let grid =
+    par_map2 detectors seeds (fun (_, install, component) seed ->
+        run_detector install component seed)
+  in
+  let rows = List.map2 (fun (label, _, _) runs -> row label runs) detectors grid in
   Tables.table
     ~headers:
       [ "detector"; "final leader"; "late leader changes"; "late false suspicions" ]
@@ -739,40 +823,36 @@ let e13 () =
   let protocols =
     [ ("<>C", ec); ("CT", Scenario.Ct); ("MR", Scenario.Mr); ("HR", Scenario.Hr) ]
   in
-  let measure ~f protocol =
-    let results =
-      List.filter_map
-        (fun seed ->
-          (* Crash the first f processes at t=0, before they can even
-             propose: they are the initial leader and the first rotating
-             coordinators, so every protocol is hit where it hurts. *)
-          let crashes = Sim.Fault.crashes (List.init f (fun i -> (i, 0))) in
-          let r =
-            Scenario.run_consensus
-              ~net:{ Scenario.default_net with seed }
-              ~crashes ~horizon:20_000 ~n ~detector:Scenario.Ec_from_leader ~protocol ()
-          in
-          match
-            ( Spec.Consensus_props.last_decision_time r.Scenario.trace,
-              Spec.Consensus_props.decision_round r.Scenario.trace )
-          with
-          | Some t, Some round when Spec.Consensus_props.check_all r.Scenario.trace ~n = [] ->
-            Some (t, round)
-          | _ -> None)
-        seeds
-    in
-    match results with
+  let fs = [ 0; 1; 2; 3; 4 ] in
+  let grid =
+    par_map3 fs protocols seeds (fun f (_, protocol) seed ->
+        (* Crash the first f processes at t=0, before they can even
+           propose: they are the initial leader and the first rotating
+           coordinators, so every protocol is hit where it hurts. *)
+        let crashes = Sim.Fault.crashes (List.init f (fun i -> (i, 0))) in
+        let r =
+          Scenario.run_consensus
+            ~net:{ Scenario.default_net with seed }
+            ~crashes ~horizon:20_000 ~n ~detector:Scenario.Ec_from_leader ~protocol ()
+        in
+        match
+          ( Spec.Consensus_props.last_decision_time r.Scenario.trace,
+            Spec.Consensus_props.decision_round r.Scenario.trace )
+        with
+        | Some t, Some round when Spec.Consensus_props.check_all r.Scenario.trace ~n = [] ->
+          Some (t, round)
+        | _ -> None)
+  in
+  let cell per_seed =
+    match List.filter_map Fun.id per_seed with
     | [] -> "failed"
-    | _ ->
+    | results ->
       Printf.sprintf "%s / %s"
         (Tables.ff (Tables.mean (List.map fst results)))
         (Tables.ff (Tables.mean (List.map snd results)))
   in
   let rows =
-    List.map
-      (fun f ->
-        Tables.fi f :: List.map (fun (_, protocol) -> measure ~f protocol) protocols)
-      [ 0; 1; 2; 3; 4 ]
+    List.map2 (fun f per_protocol -> Tables.fi f :: List.map cell per_protocol) fs grid
   in
   Tables.table
     ~headers:("crashes f" :: List.map fst protocols)
@@ -801,11 +881,10 @@ let e14 () =
     Spec.Link_metrics.active_links (Sim.Engine.trace engine) ~components ~from_t:3000
       ~to_t:(3000 + window)
   in
-  let rows =
-    List.concat_map
-      (fun n ->
-        let star = Spec.Link_metrics.star_of ~leader:0 ~n in
-        let transformation_links =
+  let cells =
+    par_map2 sweep_ns [ `Transformation; `Ring; `Heartbeat ] (fun n impl ->
+        match impl with
+        | `Transformation ->
           measure ~n
             (fun engine ->
               let hooks = Fd.Leader_s.make_hooks () in
@@ -815,28 +894,34 @@ let e14 () =
                 (Ecfd.Ec_to_p.install_piggybacked engine ~hooks ~underlying:ec
                    Ecfd.Ec_to_p.default_params))
             [ Fd.Leader_s.component; Ecfd.Ec_to_p.component ]
-        in
-        let heartbeat_links =
-          measure ~n
-            (fun engine -> ignore (Fd.Heartbeat_p.install engine Fd.Heartbeat_p.default_params))
-            [ Fd.Heartbeat_p.component ]
-        in
-        let ring_links =
+        | `Ring ->
           measure ~n
             (fun engine -> ignore (Fd.Ring_s.install engine Fd.Ring_s.default_params))
             [ Fd.Ring_s.component ]
-        in
-        [
-          [ Tables.fi n; "Fig. 2 (piggybacked) + leader <>S";
-            Printf.sprintf "2(n-1) = %d" (2 * (n - 1));
-            Tables.fi (List.length transformation_links);
-            (if transformation_links = star then "= leader star" else "NOT the star") ];
-          [ ""; "ring <>S [15]"; Printf.sprintf "2n = %d" (2 * n);
-            Tables.fi (List.length ring_links); "ring edges" ];
-          [ ""; "heartbeat <>P [6]"; Printf.sprintf "n(n-1) = %d" (n * (n - 1));
-            Tables.fi (List.length heartbeat_links); "complete graph" ];
-        ])
-      sweep_ns
+        | `Heartbeat ->
+          measure ~n
+            (fun engine -> ignore (Fd.Heartbeat_p.install engine Fd.Heartbeat_p.default_params))
+            [ Fd.Heartbeat_p.component ])
+  in
+  let rows =
+    List.concat
+      (List.map2
+         (fun n per_impl ->
+           match per_impl with
+           | [ transformation_links; ring_links; heartbeat_links ] ->
+             let star = Spec.Link_metrics.star_of ~leader:0 ~n in
+             [
+               [ Tables.fi n; "Fig. 2 (piggybacked) + leader <>S";
+                 Printf.sprintf "2(n-1) = %d" (2 * (n - 1));
+                 Tables.fi (List.length transformation_links);
+                 (if transformation_links = star then "= leader star" else "NOT the star") ];
+               [ ""; "ring <>S [15]"; Printf.sprintf "2n = %d" (2 * n);
+                 Tables.fi (List.length ring_links); "ring edges" ];
+               [ ""; "heartbeat <>P [6]"; Printf.sprintf "n(n-1) = %d" (n * (n - 1));
+                 Tables.fi (List.length heartbeat_links); "complete graph" ];
+             ]
+           | _ -> assert false)
+         sweep_ns cells)
   in
   Tables.table
     ~headers:[ "n"; "implementation"; "paper active links"; "measured"; "shape" ]
@@ -890,22 +975,29 @@ let e15 () =
     { extended with Ecfd.Ec_consensus.wait_mode = Ecfd.Ec_consensus.Strict_majority }
   in
   let pct k = Printf.sprintf "%d%%" (100 * k / trials) in
+  let qs = [ 0.0; 0.1; 0.2; 0.3; 0.4; 0.5 ] in
+  let grid =
+    par_map3 qs [ extended; strict ]
+      (List.init trials (fun i -> i + 1))
+      (fun q params seed -> run_noise ~q ~seed params)
+  in
   let rows =
-    List.map
-      (fun q ->
-        let runs params = List.init trials (fun i -> run_noise ~q ~seed:(i + 1) params) in
-        let ext = runs extended and str = runs strict in
-        let decided rs = List.length (List.filter (fun (_, r) -> r <> None) rs) in
-        let decidable =
-          List.length (List.filter (fun (k, _) -> n - 1 - k + 1 >= majority) ext)
-        in
-        [
-          Printf.sprintf "%.1f" q;
-          pct decidable;
-          pct (decided ext);
-          pct (decided str);
-        ])
-      [ 0.0; 0.1; 0.2; 0.3; 0.4; 0.5 ]
+    List.map2
+      (fun q per_params ->
+        match per_params with
+        | [ ext; str ] ->
+          let decided rs = List.length (List.filter (fun (_, r) -> r <> None) rs) in
+          let decidable =
+            List.length (List.filter (fun (k, _) -> n - 1 - k + 1 >= majority) ext)
+          in
+          [
+            Printf.sprintf "%.1f" q;
+            pct decidable;
+            pct (decided ext);
+            pct (decided str);
+          ]
+        | _ -> assert false)
+      qs grid
   in
   Tables.table
     ~headers:
@@ -956,23 +1048,25 @@ let e16 () =
     let ok = Spec.Consensus_props.check_all trace ~n = [] in
     (ok, Spec.Consensus_props.last_decision_time trace)
   in
-  let cell ~drop ~stubborn =
-    let results = List.map (fun seed -> run ~drop ~seed ~stubborn) seeds in
+  let cell results =
     let ok = List.length (List.filter fst results) in
     match List.filter_map snd results with
     | [] -> Printf.sprintf "%d/%d ok, no decisions" ok (List.length seeds)
     | times ->
       Printf.sprintf "%d/%d ok, ~%s ticks" ok (List.length seeds) (Tables.ff (Tables.mean times))
   in
+  let drops = [ 0.0; 0.2; 0.4; 0.6 ] in
+  let grid =
+    par_map3 drops [ false; true ] seeds (fun drop stubborn seed -> run ~drop ~seed ~stubborn)
+  in
   let rows =
-    List.map
-      (fun drop ->
-        [
-          Printf.sprintf "%.0f%%" (100.0 *. drop);
-          cell ~drop ~stubborn:false;
-          cell ~drop ~stubborn:true;
-        ])
-      [ 0.0; 0.2; 0.4; 0.6 ]
+    List.map2
+      (fun drop per_stubborn ->
+        match per_stubborn with
+        | [ raw; stubborn ] ->
+          [ Printf.sprintf "%.0f%%" (100.0 *. drop); cell raw; cell stubborn ]
+        | _ -> assert false)
+      drops grid
   in
   Tables.table
     ~headers:[ "loss rate"; "raw one-shot messages"; "stubborn channels" ]
@@ -1049,10 +1143,11 @@ let e17 () =
     in
     (List.length latencies, Tables.mean latencies, slots)
   in
+  let log_ns = [ 3; 5; 7 ] in
+  let grid = par_map2 log_ns seeds (fun n seed -> measure ~n ~seed) in
   let rows =
-    List.map
-      (fun n ->
-        let results = List.map (fun seed -> measure ~n ~seed) seeds in
+    List.map2
+      (fun n results ->
         let committed = Tables.mean (List.map (fun (c, _, _) -> c) results) in
         let latency =
           List.fold_left (fun acc (_, l, _) -> acc +. l) 0.0 results
@@ -1065,7 +1160,7 @@ let e17 () =
           Printf.sprintf "%.1f ticks" latency;
           Printf.sprintf "%.1f (for %d commands)" slots commands;
         ])
-      [ 3; 5; 7 ]
+      log_ns grid
   in
   Tables.table
     ~headers:[ "n"; "committed everywhere"; "mean commit latency"; "slots consumed" ]
@@ -1097,24 +1192,26 @@ let e18 () =
       Sim.Engine.timer_table_capacity engine,
       lc.Sim.Stats.queue_high_water )
   in
+  let ns = [ 4; 8; 16 ] and horizons = [ 2_000; 20_000 ] in
+  let cells = par_map2 ns horizons (fun n horizon -> measure ~n ~horizon) in
   let rows =
-    List.concat_map
-      (fun n ->
-        List.map
-          (fun horizon ->
-            let events, set, reclaimed, residency, capacity, hw = measure ~n ~horizon in
-            [
-              Tables.fi n;
-              Tables.fi horizon;
-              Tables.fi events;
-              Tables.fi set;
-              Tables.fi reclaimed;
-              Tables.fi residency;
-              Tables.fi capacity;
-              Tables.fi hw;
-            ])
-          [ 2_000; 20_000 ])
-      [ 4; 8; 16 ]
+    List.concat
+      (List.map2
+         (fun n per_horizon ->
+           List.map2
+             (fun horizon (events, set, reclaimed, residency, capacity, hw) ->
+               [
+                 Tables.fi n;
+                 Tables.fi horizon;
+                 Tables.fi events;
+                 Tables.fi set;
+                 Tables.fi reclaimed;
+                 Tables.fi residency;
+                 Tables.fi capacity;
+                 Tables.fi hw;
+               ])
+             horizons per_horizon)
+         ns cells)
   in
   Tables.table
     ~headers:
@@ -1155,8 +1252,11 @@ let e19 () =
       Spec.Round_metrics.sends_by_round trace ~component:"alpha",
       (Sim.Stats.total (Sim.Engine.stats engine)).Sim.Stats.sent )
   in
-  let snap_ab, rounds_ab, sent_ab = run [ ("alpha", 5); ("beta", 7) ] in
-  let snap_ba, rounds_ba, sent_ba = run [ ("beta", 7); ("alpha", 5) ] in
+  let (snap_ab, rounds_ab, sent_ab), (snap_ba, rounds_ba, sent_ba) =
+    match par_map [ [ ("alpha", 5); ("beta", 7) ]; [ ("beta", 7); ("alpha", 5) ] ] run with
+    | [ ab; ba ] -> (ab, ba)
+    | _ -> assert false
+  in
   Tables.table
     ~headers:[ "registration order"; "snapshot entries"; "messages sent" ]
     ~rows:

@@ -36,20 +36,20 @@ let table ~headers ~rows =
   write_csv ~headers ~rows;
   let all = headers :: rows in
   let columns = List.length headers in
-  let width c =
-    List.fold_left (fun acc row -> Stdlib.max acc (String.length (List.nth row c))) 0 all
-  in
-  let widths = List.init columns width in
+  (* One pass over the cells — the previous List.nth-per-cell version was
+     O(cols^2 * rows), noticeable on the wide sweep tables. *)
+  let widths = Array.make columns 0 in
+  List.iter
+    (List.iteri (fun c cell -> widths.(c) <- Stdlib.max widths.(c) (String.length cell)))
+    all;
   let print_row row =
     Format.printf "  |";
-    List.iteri
-      (fun c cell -> Format.printf " %*s |" (List.nth widths c) cell)
-      row;
+    List.iteri (fun c cell -> Format.printf " %*s |" widths.(c) cell) row;
     Format.printf "@."
   in
   let rule () =
     Format.printf "  +";
-    List.iter (fun w -> Format.printf "%s+" (String.make (w + 2) '-')) widths;
+    Array.iter (fun w -> Format.printf "%s+" (String.make (w + 2) '-')) widths;
     Format.printf "@."
   in
   rule ();

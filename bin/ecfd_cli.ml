@@ -282,7 +282,8 @@ let transform_cmd =
 (* --- sweep subcommand --- *)
 
 let sweep_cmd =
-  let run protocol detector param values seeds n delta horizon =
+  let run protocol detector param values seeds n delta horizon domains =
+    Option.iter Exec.Pool.set_default_domains domains;
     let protocol =
       match protocol with
       | `Ec -> Scenario.Ec Ecfd.Ec_consensus.default_params
@@ -302,22 +303,39 @@ let sweep_cmd =
     Format.printf "  %8s | %7s | %12s | %11s | %6s@." param "ok" "mean t(done)" "mean rounds"
       "n";
     Format.printf "  ---------+---------+--------------+-------------+-------@.";
-    List.iter
-      (fun value ->
-        let gst = if param = "gst" then value else 0 in
-        let n = if param = "n" then value else n in
-        let results =
-          List.init seeds (fun i ->
-              let seed = i + 1 in
-              let r =
-                Scenario.run_consensus
-                  ~net:(net ~seed ~gst ~delta)
-                  ~horizon ~n ~detector ~protocol ()
-              in
-              ( Spec.Consensus_props.check_all r.Scenario.trace ~n = [],
-                Spec.Consensus_props.last_decision_time r.Scenario.trace,
-                Spec.Consensus_props.decision_round r.Scenario.trace ))
-        in
+    (* The whole (value × seed) grid goes through the domain pool in one
+       job list; each job is a self-contained run, and results come back
+       in grid order, so the table is identical at any --domains value. *)
+    let points =
+      List.map
+        (fun value ->
+          let gst = if param = "gst" then value else 0 in
+          let n = if param = "n" then value else n in
+          (value, gst, n))
+        values
+    in
+    let grid =
+      Exec.Pool.run
+        (List.concat_map
+           (fun (_, gst, n) ->
+             List.init seeds (fun i () ->
+                 let seed = i + 1 in
+                 let r =
+                   Scenario.run_consensus
+                     ~net:(net ~seed ~gst ~delta)
+                     ~horizon ~n ~detector ~protocol ()
+                 in
+                 ( Spec.Consensus_props.check_all r.Scenario.trace ~n = [],
+                   Spec.Consensus_props.last_decision_time r.Scenario.trace,
+                   Spec.Consensus_props.decision_round r.Scenario.trace )))
+           points)
+    in
+    let rec chunk k = function
+      | [] -> []
+      | flat -> List.filteri (fun i _ -> i < k) flat :: chunk k (List.filteri (fun i _ -> i >= k) flat)
+    in
+    List.iter2
+      (fun (value, _, n) results ->
         let ok = List.length (List.filter (fun (ok, _, _) -> ok) results) in
         let mean xs =
           match xs with
@@ -331,7 +349,7 @@ let sweep_cmd =
           (mean (List.filter_map (fun (_, t, _) -> t) results))
           (mean (List.filter_map (fun (_, _, r) -> r) results))
           n)
-      values
+      points (chunk seeds grid)
   in
   let doc = "Sweep a parameter (gst or n) and report consensus latency/rounds." in
   Cmd.v
@@ -354,7 +372,15 @@ let sweep_cmd =
           & info [ "values" ] ~docv:"V1,V2,..." ~doc:"Sweep points.")
       $ Arg.(
           value & opt int 5 & info [ "seeds" ] ~docv:"K" ~doc:"Seeds (runs) per sweep point.")
-      $ n_arg $ delta_arg $ horizon_arg)
+      $ n_arg $ delta_arg $ horizon_arg
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "domains" ] ~docv:"D"
+              ~doc:
+                "Worker domains for the sweep grid (default: \\$(b,ECFD_DOMAINS) or the \
+                 machine's recommended count, capped at 8; 1 = sequential).  The output is \
+                 identical at every value."))
 
 let main =
   let doc = "Eventually consistent failure detectors (Larrea, Fernández, Arévalo) — simulator" in

@@ -165,6 +165,7 @@ let set_timer t p ~delay callback =
   let gen = t.timer_gens.(slot) in
   t.timer_states.(slot) <- Armed;
   t.timer_live <- t.timer_live + 1;
+  Stats.note_timer_residency t.stats ~residency:t.timer_live;
   Stats.on_timer_set t.stats;
   schedule_event t ~at:(t.now + delay) (Timer_fire { pid = p; slot; gen; callback });
   { slot; gen }

@@ -10,19 +10,26 @@ type 'a t = {
   cmp : 'a -> 'a -> int;
   mutable data : 'a slot array;
   mutable size : int;
+  (* Count of [Elem] slots, maintained at the two places a slot changes
+     occupancy ([push] fills one, [pop] vacates one) and at the bulk
+     operations ([clear], [shrink]).  Equal to [size] unless there is a
+     retention bug; [scan_live_slots] recounts from the array to check. *)
+  mutable live : int;
 }
 
 (* [clear] and first [grow] both land on this capacity, so an emptied heap
    and a fresh one behave identically. *)
 let min_capacity = 8
 
-let create ~cmp = { cmp; data = [||]; size = 0 }
+let create ~cmp = { cmp; data = [||]; size = 0; live = 0 }
 
 let length t = t.size
 let is_empty t = t.size = 0
 let capacity t = Array.length t.data
 
-let live_slots t =
+let live_slots t = t.live
+
+let scan_live_slots t =
   Array.fold_left (fun acc s -> match s with Empty -> acc | Elem _ -> acc + 1) 0 t.data
 
 let get t i = match t.data.(i) with Elem e -> e.v | Empty -> assert false
@@ -65,6 +72,7 @@ let push t x =
   grow t;
   t.data.(t.size) <- Elem { v = x };
   t.size <- t.size + 1;
+  t.live <- t.live + 1;
   sift_up t (t.size - 1)
 
 let peek t = if t.size = 0 then None else Some (get t 0)
@@ -79,6 +87,7 @@ let pop t =
       sift_down t 0
     end;
     t.data.(t.size) <- Empty;
+    t.live <- t.live - 1;
     Some top
   end
 
@@ -87,13 +96,17 @@ let shrink t =
   if Array.length t.data > target then begin
     let data' = Array.make target Empty in
     Array.blit t.data 0 data' 0 t.size;
-    t.data <- data'
+    t.data <- data';
+    (* Only the [size]-element prefix was copied; any leaked slot beyond it
+       (impossible unless [pop] regresses) is gone now. *)
+    t.live <- t.size
   end
 
 let clear t =
   if Array.length t.data > min_capacity then t.data <- Array.make min_capacity Empty
   else Array.fill t.data 0 (Array.length t.data) Empty;
-  t.size <- 0
+  t.size <- 0;
+  t.live <- 0
 
 let to_list_unordered t =
   let rec collect i acc = if i < 0 then acc else collect (i - 1) (get t i :: acc) in

@@ -23,7 +23,15 @@ val capacity : 'a t -> int
 
 val live_slots : 'a t -> int
 (** Slots currently holding an element reference; equals [length] unless
-    there is a retention bug.  O(capacity) — diagnostics and tests only. *)
+    there is a retention bug.  O(1) — an occupancy counter maintained by
+    [push]/[pop]/[clear]/[shrink], so production accounting (the engine's
+    queue high-water, soak assertions) can query it on the hot path. *)
+
+val scan_live_slots : 'a t -> int
+(** The same figure recounted by a full O(capacity) array scan.  Debug
+    check: tests compare it against {!live_slots} to prove the counter and
+    the array never drift (a popped slot left aliasing its element would
+    show up here first). *)
 
 val push : 'a t -> 'a -> unit
 

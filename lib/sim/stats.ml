@@ -20,6 +20,7 @@ type lifecycle = {
   timers_cancelled : int;
   timers_reclaimed : int;
   queue_high_water : int;
+  timer_residency_high_water : int;
 }
 
 (* Keyed by (component, tag); component-level views aggregate on the fly.
@@ -32,6 +33,7 @@ type t = {
   mutable timers_cancelled : int;
   mutable timers_reclaimed : int;
   mutable queue_high_water : int;
+  mutable timer_residency_high_water : int;
 }
 
 let create () =
@@ -43,6 +45,7 @@ let create () =
     timers_cancelled = 0;
     timers_reclaimed = 0;
     queue_high_water = 0;
+    timer_residency_high_water = 0;
   }
 
 let cell t ~component ~tag =
@@ -75,6 +78,10 @@ let on_timer_reclaimed t = t.timers_reclaimed <- t.timers_reclaimed + 1
 let note_queue_depth t ~depth =
   if depth > t.queue_high_water then t.queue_high_water <- depth
 
+let note_timer_residency t ~residency =
+  if residency > t.timer_residency_high_water then
+    t.timer_residency_high_water <- residency
+
 let lifecycle t =
   {
     events_executed = t.events_executed;
@@ -83,13 +90,15 @@ let lifecycle t =
     timers_cancelled = t.timers_cancelled;
     timers_reclaimed = t.timers_reclaimed;
     queue_high_water = t.queue_high_water;
+    timer_residency_high_water = t.timer_residency_high_water;
   }
 
 let pp_lifecycle ppf (l : lifecycle) =
   Format.fprintf ppf
-    "events=%d timers(set=%d fired=%d cancelled=%d reclaimed=%d) queue-high-water=%d"
+    "events=%d timers(set=%d fired=%d cancelled=%d reclaimed=%d) queue-high-water=%d \
+     timer-residency-high-water=%d"
     l.events_executed l.timers_set l.timers_fired l.timers_cancelled l.timers_reclaimed
-    l.queue_high_water
+    l.queue_high_water l.timer_residency_high_water
 
 let component_counts t ~component =
   Hashtbl.fold

@@ -19,6 +19,10 @@ type lifecycle = {
           cancelled, or owner crashed) — lags [timers_set] by exactly the
           current registry residency *)
   queue_high_water : int;  (** max pending events ever in the queue *)
+  timer_residency_high_water : int;
+      (** max timer-registry slots ever simultaneously occupied; tracked on
+          every [set_timer], so [Engine.timer_residency] can never exceed it
+          at any instant (the sim-core bench asserts exactly that) *)
 }
 (** Engine lifecycle counters: resource-accounting facts about one run,
     complementing the per-component message counters.  Soak tests assert
@@ -42,6 +46,9 @@ val on_timer_reclaimed : t -> unit
 
 val note_queue_depth : t -> depth:int -> unit
 (** Record the current queue depth; retains the maximum seen. *)
+
+val note_timer_residency : t -> residency:int -> unit
+(** Record the current timer-registry residency; retains the maximum seen. *)
 
 val lifecycle : t -> lifecycle
 (** Current lifecycle counters, as an immutable snapshot. *)

@@ -1,0 +1,4 @@
+(* R1 fixture: lib/exec/ — the job pool — may use Domain/Atomic/Mutex. *)
+let next = Atomic.make 0
+let spawn f = Domain.spawn f
+let guard = Mutex.create ()

@@ -1,0 +1,4 @@
+(* Interface stub so this fixture only exercises R1's exec exemption. *)
+val next : int Atomic.t
+val spawn : (unit -> 'a) -> 'a Domain.t
+val guard : Mutex.t

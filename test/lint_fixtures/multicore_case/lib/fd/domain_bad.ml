@@ -1,0 +1,4 @@
+(* R1 fixture: multicore primitives outside lib/exec/ must be flagged. *)
+let counter = Atomic.make 0
+let run () = Domain.spawn (fun () -> Atomic.incr counter)
+let guard = Mutex.create ()

@@ -1,0 +1,4 @@
+(* Interface stub so this fixture only seeds R1 findings, not R5. *)
+val counter : int Atomic.t
+val run : unit -> unit Domain.t
+val guard : Mutex.t

@@ -1,0 +1,120 @@
+(* The Domain job pool (lib/exec): order restoration, exception
+   propagation, sequential equivalence, metrics — and the harness-level
+   determinism contract, checked by running a real experiment (E4) under
+   different domain counts and comparing the captured output
+   byte-for-byte. *)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+(* Capture everything an [f ()] prints through Format.std_formatter (the
+   only channel the table renderer uses). *)
+let capture f =
+  let buf = Buffer.create 4096 in
+  let saved = Format.pp_get_formatter_out_functions Format.std_formatter () in
+  Format.pp_set_formatter_out_functions Format.std_formatter
+    {
+      saved with
+      Format.out_string = (fun s pos len -> Buffer.add_substring buf s pos len);
+      out_flush = (fun () -> ());
+    };
+  Fun.protect
+    ~finally:(fun () ->
+      Format.pp_print_flush Format.std_formatter ();
+      Format.pp_set_formatter_out_functions Format.std_formatter saved)
+    f;
+  Buffer.contents buf
+
+(* A job whose cost shrinks with its index: late jobs finish first under
+   parallel execution, so order restoration is actually exercised. *)
+let uneven_job i () =
+  let spin = ref 0 in
+  for _ = 1 to (32 - i) * 10_000 do
+    incr spin
+  done;
+  ignore !spin;
+  i * i
+
+let pool_tests =
+  [
+    tc "results come back in job order, not completion order" (fun () ->
+        let jobs = List.init 32 uneven_job in
+        Alcotest.(check (list int))
+          "squares in order"
+          (List.init 32 (fun i -> i * i))
+          (Exec.Pool.run ~domains:4 jobs));
+    tc "an empty job list is a no-op" (fun () ->
+        Alcotest.(check (list int)) "empty" [] (Exec.Pool.run ~domains:4 []));
+    tc "domains=1 equals domains=4 on simulation jobs" (fun () ->
+        (* Each job is a full engine run — the pool's real workload. *)
+        let sim_job seed () =
+          let engine =
+            Sim.Engine.create ~seed ~n:4
+              ~link:(Sim.Link.reliable ~min_delay:1 ~max_delay:8 ())
+              ()
+          in
+          let _ = Fd.Heartbeat_p.install engine Fd.Heartbeat_p.default_params in
+          Sim.Engine.run_until engine 400;
+          (Sim.Stats.total (Sim.Engine.stats engine)).Sim.Stats.sent
+        in
+        let jobs = List.map sim_job [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+        Alcotest.(check (list int))
+          "identical results"
+          (Exec.Pool.run ~domains:1 jobs)
+          (Exec.Pool.run ~domains:4 jobs));
+    tc "the lowest-indexed exception wins, every job still runs" (fun () ->
+        let ran = Array.make 8 false in
+        let job i () =
+          ran.(i) <- true;
+          if i = 2 then failwith "boom-low";
+          if i = 6 then failwith "boom-high";
+          i
+        in
+        Alcotest.check_raises "lowest index re-raised" (Failure "boom-low") (fun () ->
+            ignore (Exec.Pool.run ~domains:4 (List.init 8 job) : int list));
+        Alcotest.(check bool)
+          "jobs after the failure ran too" true
+          (Array.for_all Fun.id ran));
+    tc "a nested run degrades to sequential instead of deadlocking" (fun () ->
+        let results =
+          Exec.Pool.run ~domains:2
+            (List.init 4 (fun i () ->
+                 List.fold_left ( + ) 0
+                   (Exec.Pool.run ~domains:4 (List.init 5 (fun j () -> (10 * i) + j)))))
+        in
+        Alcotest.(check (list int))
+          "inner sums correct"
+          (List.init 4 (fun i -> (50 * i) + 10))
+          results);
+    tc "with_domains restores the previous default" (fun () ->
+        Exec.Pool.with_domains 3 (fun () ->
+            Alcotest.(check int) "inside" 3 (Exec.Pool.default_domains ());
+            Exec.Pool.with_domains 1 (fun () ->
+                Alcotest.(check int) "nested" 1 (Exec.Pool.default_domains ()));
+            Alcotest.(check int) "restored" 3 (Exec.Pool.default_domains ())));
+    tc "metrics count runs, jobs and a positive busy/wall split" (fun () ->
+        Exec.Pool.with_domains 2 (fun () ->
+            Exec.Pool.reset_metrics ();
+            ignore (Exec.Pool.run (List.init 6 uneven_job) : int list);
+            ignore (Exec.Pool.run (List.init 4 uneven_job) : int list);
+            let m = Exec.Pool.metrics () in
+            Alcotest.(check int) "runs" 2 m.Exec.Pool.runs;
+            Alcotest.(check int) "jobs" 10 m.Exec.Pool.jobs;
+            Alcotest.(check bool) "busy > 0" true (m.Exec.Pool.busy_s > 0.0);
+            Alcotest.(check bool) "wall > 0" true (m.Exec.Pool.wall_s > 0.0)));
+  ]
+
+let determinism_tests =
+  [
+    tc "E4 renders byte-identical tables at 1 and 4 domains" (fun () ->
+        let render domains =
+          Exec.Pool.with_domains domains (fun () -> capture Experiments.e4)
+        in
+        let sequential = render 1 in
+        Alcotest.(check bool)
+          "E4 produced output" true
+          (String.length sequential > 0);
+        Alcotest.(check string) "identical output" sequential (render 4));
+  ]
+
+let suites =
+  [ ("exec pool", pool_tests); ("exec determinism", determinism_tests) ]

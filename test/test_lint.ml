@@ -17,6 +17,14 @@ let test_r1_ambient =
     [ fixture "ambient_bad.ml" ]
     ~expected:[ ("R1", 3); ("R1", 4); ("R1", 5); ("R1", 6); ("R1", 7) ]
 
+let test_r1_multicore =
+  (* Domain/Atomic/Mutex are flagged under lib/fd/ (line 3 carries both a
+     Domain.spawn and an Atomic.incr) but the lib/exec/ twin is exempt:
+     only the job pool may touch multicore primitives. *)
+  check_findings
+    [ fixture "multicore_case" ]
+    ~expected:[ ("R1", 2); ("R1", 3); ("R1", 3); ("R1", 4) ]
+
 let test_r2_unordered =
   check_findings
     [ fixture "unordered_bad.ml" ]
@@ -40,7 +48,7 @@ let test_missing_reason =
 let test_whole_directory () =
   (* All fixtures at once: the per-file expectations above, via the same
      directory walk the dune @lint alias uses. *)
-  Alcotest.(check int) "total findings over lint_fixtures/" 17
+  Alcotest.(check int) "total findings over lint_fixtures/" 21
     (List.length (run [ "lint_fixtures" ]))
 
 let test_registry () =
@@ -57,6 +65,8 @@ let suites =
     ( "lint",
       [
         Alcotest.test_case "R1: ambient nondeterminism fixture" `Quick test_r1_ambient;
+        Alcotest.test_case "R1: multicore primitives confined to lib/exec/" `Quick
+          test_r1_multicore;
         Alcotest.test_case "R2: unordered-escape fixture" `Quick test_r2_unordered;
         Alcotest.test_case "R3: polymorphic-compare fixture" `Quick test_r3_polycmp;
         Alcotest.test_case "R4: payload-hygiene fixture" `Quick test_r4_payload;

@@ -183,24 +183,28 @@ let heap_tests =
       (fun ops ->
         (* Through any interleaving, live slots track the size exactly —
            i.e. pop really clears the vacated slot (the old implementation
-           left popped elements aliased in the array). *)
+           left popped elements aliased in the array) — and the O(1)
+           occupancy counter never drifts from a full-array recount. *)
         let h = Sim.Heap.create ~cmp:Int.compare in
         List.for_all
           (fun op ->
             (match op with
             | Some x -> Sim.Heap.push h x
             | None -> ignore (Sim.Heap.pop h : int option));
-            Sim.Heap.live_slots h = Sim.Heap.length h)
+            Sim.Heap.live_slots h = Sim.Heap.length h
+            && Sim.Heap.scan_live_slots h = Sim.Heap.live_slots h)
           ops
         &&
         (let rec drain () = match Sim.Heap.pop h with None -> () | Some _ -> drain () in
          drain ();
-         Sim.Heap.length h = 0 && Sim.Heap.live_slots h = 0));
+         Sim.Heap.length h = 0 && Sim.Heap.live_slots h = 0
+         && Sim.Heap.scan_live_slots h = 0));
     tc "pop clears the last slot when the heap empties" (fun () ->
         let h = Sim.Heap.create ~cmp:Int.compare in
         Sim.Heap.push h 1;
         Alcotest.(check (option int)) "pop" (Some 1) (Sim.Heap.pop h);
-        Alcotest.(check int) "no retained slot" 0 (Sim.Heap.live_slots h));
+        Alcotest.(check int) "no retained slot" 0 (Sim.Heap.live_slots h);
+        Alcotest.(check int) "scan agrees" 0 (Sim.Heap.scan_live_slots h));
     tc "clear keeps a small capacity consistent with growth" (fun () ->
         let h = Sim.Heap.create ~cmp:Int.compare in
         for i = 1 to 100 do
@@ -211,6 +215,7 @@ let heap_tests =
         Alcotest.(check int) "small capacity" 8 (Sim.Heap.capacity h);
         Alcotest.(check int) "empty" 0 (Sim.Heap.length h);
         Alcotest.(check int) "no live slots" 0 (Sim.Heap.live_slots h);
+        Alcotest.(check int) "scan agrees" 0 (Sim.Heap.scan_live_slots h);
         Sim.Heap.push h 7;
         Alcotest.(check (option int)) "usable after clear" (Some 7) (Sim.Heap.peek h));
     tc "shrink releases burst slack without dropping elements" (fun () ->

@@ -4,13 +4,30 @@
    of (seed, configuration, component code).  Ambient randomness and wall
    clocks break that silently, so they are banned everywhere except the
    seeded generator itself: randomness must flow through [Sim.Rng], time
-   through [Sim_time] / the engine clock. *)
+   through [Sim_time] / the engine clock.
+
+   Multicore primitives are scoped the same way: [Domain], [Atomic] and
+   [Mutex] introduce scheduling-dependent interleavings, so they are
+   allowed only inside [lib/exec/] — the deterministic job pool, whose
+   whole point is to confine parallelism where it cannot reach simulated
+   state (results are restored to job order; jobs are pure closures). *)
 
 let rule_id = "R1"
 let key = "ambient"
 
 (* The one module allowed to be built on ambient-looking primitives. *)
 let exempt_file path = Filename.basename path = "rng.ml"
+
+(* The one directory allowed to touch Domain/Atomic/Mutex. *)
+let in_exec_pool path =
+  let rec scan = function
+    | "lib" :: "exec" :: _ -> true
+    | _ :: rest -> scan rest
+    | [] -> false
+  in
+  scan (String.split_on_char '/' path)
+
+let multicore_roots = [ "Domain"; "Atomic"; "Mutex" ]
 
 let banned_paths =
   [
@@ -23,6 +40,7 @@ let banned_paths =
 let check (src : Rules.source) =
   if exempt_file src.path then []
   else begin
+    let multicore_allowed = in_exec_pool src.path in
     let findings = ref [] in
     let flag loc msg =
       findings := Finding.of_loc ~rule:rule_id ~key ~msg loc :: !findings
@@ -37,6 +55,13 @@ let check (src : Rules.source) =
             (Printf.sprintf
                "ambient nondeterminism: %s; all randomness must flow through the \
                 seeded Sim.Rng"
+               (String.concat "." p))
+        | root :: _ when List.mem root multicore_roots && not multicore_allowed ->
+          flag loc
+            (Printf.sprintf
+               "multicore primitive %s escapes the job pool: Domain/Atomic/Mutex \
+                are allowed only inside lib/exec/ (Exec.Pool keeps parallel runs \
+                deterministic)"
                (String.concat "." p))
         | _ -> (
           match List.find_opt (fun (bad, _) -> bad = p) banned_paths with
@@ -77,6 +102,7 @@ let rule : Rules.t =
     key;
     doc =
       "no ambient nondeterminism: Stdlib.Random, Unix.time/gettimeofday, Sys.time and \
-       Hashtbl.create ~random are banned outside lib/sim/rng.ml";
+       Hashtbl.create ~random are banned outside lib/sim/rng.ml; Domain/Atomic/Mutex \
+       are banned outside lib/exec/";
     scope = File check;
   }
