@@ -627,7 +627,7 @@ let e11 () =
     let base = Sim.Link.reliable ~min_delay:1 ~max_delay:8 () in
     let link =
       Sim.Link.route ~describe:"muffle-p1" (fun ~src ~dst:_ ->
-          if src = 0 then
+          if Sim.Pid.equal src 0 then
             {
               Sim.Link.describe = "p1-muffled";
               fate =
@@ -914,7 +914,7 @@ let e14 () =
                [ Tables.fi n; "Fig. 2 (piggybacked) + leader <>S";
                  Printf.sprintf "2(n-1) = %d" (2 * (n - 1));
                  Tables.fi (List.length transformation_links);
-                 (if transformation_links = star then "= leader star" else "NOT the star") ];
+                 (if List.equal (fun (a, b) (c, d) -> Sim.Pid.equal a c && Sim.Pid.equal b d) transformation_links star then "= leader star" else "NOT the star") ];
                [ ""; "ring <>S [15]"; Printf.sprintf "2n = %d" (2 * n);
                  Tables.fi (List.length ring_links); "ring edges" ];
                [ ""; "heartbeat <>P [6]"; Printf.sprintf "n(n-1) = %d" (n * (n - 1));
@@ -953,7 +953,7 @@ let e15 () =
   let run_noise ~q ~seed params =
     let rng = Sim.Rng.create ~seed in
     let nackers =
-      List.filter (fun p -> p <> 0 && Sim.Rng.bool rng ~p:q) (Sim.Pid.all ~n)
+      List.filter (fun p -> not (Sim.Pid.equal p 0) && Sim.Rng.bool rng ~p:q) (Sim.Pid.all ~n)
     in
     let engine = Scenario.engine ~net:{ Scenario.default_net with seed } ~n () in
     let accurate = Fd.Scripted.accurate_stable ~leader:0 ~crashed:Sim.Pid.Set.empty in

@@ -53,7 +53,7 @@ let create ?(component = default_component) ?(period = 10) engine =
         | None -> ()
       end
     | Ack { seq } ->
-      st.unacked <- List.filter (fun o -> not (o.o_dst = src && o.o_seq = seq)) st.unacked
+      st.unacked <- List.filter (fun o -> not (Sim.Pid.equal o.o_dst src && o.o_seq = seq)) st.unacked
     | _ -> ()
   in
   List.iter
@@ -68,7 +68,7 @@ let create ?(component = default_component) ?(period = 10) engine =
 
 let register t p handler =
   let st = t.states.(p) in
-  if st.handler <> None then invalid_arg "Stubborn.register: handler already registered";
+  if Option.is_some st.handler then invalid_arg "Stubborn.register: handler already registered";
   st.handler <- Some handler
 
 let send t ~src ~dst ~tag body =

@@ -129,7 +129,7 @@ let install ?(component = component) ?f ?(max_rounds = 100_000) engine ~fd ~rb (
     match payload with
     | Current { round; est } ->
       let b = buffers_of st round in
-      if b.current = None then b.current <- Some est;
+      if Option.is_none b.current then b.current <- Some est;
       if st.phase = Wait_current && round = st.round then step p
     | Vote { round; aux } ->
       let b = buffers_of st round in

@@ -170,7 +170,7 @@ let install ?(component = component) ?(transport = `Engine) engine ~fd ~rb param
     if st.phase <> Halted then begin
       let sv = service_of st r in
       if sv.active then begin
-        if sv.proposition = None && ready_phase2 p sv then begin
+        if Option.is_none sv.proposition && ready_phase2 p sv then begin
           if List.length sv.nonnull >= majority then begin
             let v = best_estimate sv.nonnull in
             sv.proposition <- Some (Some v);
@@ -259,7 +259,7 @@ let install ?(component = component) ?(transport = `Engine) engine ~fd ~rb param
       ~src:p
       (Coordinator { round = r });
     let sv = service_of st r in
-    if sv.proposition = None then begin
+    if Option.is_none sv.proposition then begin
       sv.responders <- Sim.Pid.Set.add p sv.responders;
       sv.nonnull <- (p, st.est, st.ts) :: sv.nonnull
     end;
@@ -315,7 +315,7 @@ let install ?(component = component) ?(transport = `Engine) engine ~fd ~rb param
               adopt_coordinator p a.a_from
             end
           end
-          else if a.a_round = st.round && st.phase = Wait_coordinator && st.coord = None then begin
+          else if a.a_round = st.round && st.phase = Wait_coordinator && Option.is_none st.coord then begin
             a.handled <- true;
             adopt_coordinator p a.a_from
           end
@@ -368,7 +368,7 @@ let install ?(component = component) ?(transport = `Engine) engine ~fd ~rb param
         let null_from_own =
           match st.coord with
           | None -> false
-          | Some c -> List.exists (fun (from, value) -> Sim.Pid.equal from c && value = None) buffered
+          | Some c -> List.exists (fun (from, value) -> Sim.Pid.equal from c && Option.is_none value) buffered
         in
         if null_from_own then advance_round p (st.round + 1)
         else
@@ -413,7 +413,7 @@ let install ?(component = component) ?(transport = `Engine) engine ~fd ~rb param
              been sent to the estimators of record only (merged mode), and
              re-sending it is harmless — so the sender's Phase 3 cannot
              block on us. *)
-          if answer = None && not (Sim.Pid.equal src p) then
+          if Option.is_none answer && not (Sim.Pid.equal src p) then
             send_one
               ~tag:(Printf.sprintf "null-proposition.r%d" (round + 1))
               ~src:p ~dst:src
@@ -421,7 +421,7 @@ let install ?(component = component) ?(transport = `Engine) engine ~fd ~rb param
       end
       | Null_estimate { round } ->
         let sv = service_of st round in
-        if sv.proposition = None then begin
+        if Option.is_none sv.proposition then begin
           sv.responders <- Sim.Pid.Set.add src sv.responders;
           service_step p round
         end

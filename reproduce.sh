@@ -4,5 +4,6 @@
 set -e
 dune build @all
 dune build @lint
+dune build @analyze
 dune runtest --force --no-buffer 2>&1 | tee test_output.txt
 dune exec bench/main.exe 2>&1 | tee bench_output.txt

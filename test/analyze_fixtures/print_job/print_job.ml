@@ -1,0 +1,9 @@
+(* Jobs that print: the I/O primitive is reachable from the submitted
+   closure — directly, and through a helper (interprocedurally). *)
+let helper x =
+  print_endline "side effect";
+  x + 1
+
+let direct xs = Exec.Pool.run (List.map (fun x () -> print_string "no"; x) xs)
+
+let transitive xs = Exec.Pool.run (List.map (fun x () -> helper x) xs)

@@ -1,0 +1,13 @@
+(* A pure pool job: arithmetic plus state local to the job closure.
+   ecfd-analyze must report nothing here — mutation of job-local refs is
+   exactly what A1 permits. *)
+let squares xs =
+  Exec.Pool.run
+    (List.map
+       (fun x () ->
+         let acc = ref 0 in
+         for i = 1 to x do
+           acc := !acc + i
+         done;
+         !acc)
+       xs)

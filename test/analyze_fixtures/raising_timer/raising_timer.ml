@@ -1,0 +1,6 @@
+(* A timer callback that lets an exception escape into the engine's
+   event loop, without the [@analyze.may_raise] escape hatch. *)
+let arm engine pid =
+  ignore
+    (Sim.Engine.set_timer engine pid ~delay:5 (fun () -> failwith "boom")
+      : Sim.Engine.timer)

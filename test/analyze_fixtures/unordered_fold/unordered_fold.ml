@@ -1,0 +1,6 @@
+(* Hashtbl.fold building a list that escapes in bucket order (flagged),
+   next to its sorted twin (clean). *)
+let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+
+let keys_sorted tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort Int.compare

@@ -1,0 +1,4 @@
+(* A decoy: same basename as the exempt module, wrong path.  The R1
+   exemption is by exact path (lib/sim/rng.ml), so this Random use must
+   be flagged. *)
+let sample () = Random.int 6

@@ -1,0 +1,1 @@
+val seed_from_ambient : unit -> int

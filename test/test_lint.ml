@@ -25,6 +25,11 @@ let test_r1_multicore =
     [ fixture "multicore_case" ]
     ~expected:[ ("R1", 2); ("R1", 3); ("R1", 3); ("R1", 4) ]
 
+let test_r1_rng_exemption =
+  (* The R1 exemption is the exact path lib/sim/rng.ml: the real path's
+     Random use passes, a decoy rng.ml under bench/ is flagged. *)
+  check_findings [ fixture "decoy_rng_case" ] ~expected:[ ("R1", 4) ]
+
 let test_r2_unordered =
   check_findings
     [ fixture "unordered_bad.ml" ]
@@ -48,7 +53,7 @@ let test_missing_reason =
 let test_whole_directory () =
   (* All fixtures at once: the per-file expectations above, via the same
      directory walk the dune @lint alias uses. *)
-  Alcotest.(check int) "total findings over lint_fixtures/" 21
+  Alcotest.(check int) "total findings over lint_fixtures/" 22
     (List.length (run [ "lint_fixtures" ]))
 
 let test_registry () =
@@ -67,6 +72,8 @@ let suites =
         Alcotest.test_case "R1: ambient nondeterminism fixture" `Quick test_r1_ambient;
         Alcotest.test_case "R1: multicore primitives confined to lib/exec/" `Quick
           test_r1_multicore;
+        Alcotest.test_case "R1: rng.ml exemption is by exact path" `Quick
+          test_r1_rng_exemption;
         Alcotest.test_case "R2: unordered-escape fixture" `Quick test_r2_unordered;
         Alcotest.test_case "R3: polymorphic-compare fixture" `Quick test_r3_polycmp;
         Alcotest.test_case "R4: payload-hygiene fixture" `Quick test_r4_payload;

@@ -1,0 +1,11 @@
+(* The A-rule registry's type.  Every rule is whole-program: it sees the
+   full index (all loaded compilation units plus the value tables) and
+   returns findings.  Suppression ([@analyze.allow <key> "reason"]) and
+   output formatting are applied by the driver. *)
+
+type t = {
+  id : string;  (** Printed in findings: [A1], [A2], ... *)
+  key : string;  (** Suppression key: [@analyze.allow <key> "reason"]. *)
+  doc : string;  (** One-line description for [--list-rules]. *)
+  run : Index.t -> Check_common.Finding.t list;
+}

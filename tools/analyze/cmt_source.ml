@@ -1,0 +1,47 @@
+(* Loading the typed tree of one compilation unit from the .cmt file dune
+   already produces (the [-bin-annot] output).  Locations inside a .cmt are
+   relative to the build root ("lib/sim/engine.ml"), which is exactly what
+   we want to print. *)
+
+type t = {
+  cmt_path : string;  (** The .cmt we loaded. *)
+  source_path : string;  (** The .ml it was compiled from, build-root-relative. *)
+  modpath : string list;  (** Normalised module path, e.g. [["Sim"; "Engine"]]. *)
+  str : Typedtree.structure;
+}
+
+(* [Ok None]: a valid .cmt that carries no implementation (packs, interfaces
+   compiled with -bin-annot, partial trees from failed builds). *)
+let load cmt_path =
+  match Cmt_format.read_cmt cmt_path with
+  | exception e -> Error (Printexc.to_string e)
+  | infos -> (
+    match infos.cmt_annots with
+    | Implementation str ->
+      let source_path =
+        match infos.cmt_sourcefile with Some s -> s | None -> cmt_path
+      in
+      Ok
+        (Some
+           {
+             cmt_path;
+             source_path;
+             modpath = Tast_util.split_mangled infos.cmt_modname;
+             str;
+           })
+    | _ -> Ok None)
+
+let normalise path =
+  String.concat "/" (String.split_on_char Filename.dir_sep.[0] path)
+
+(* Every .cmt below [path], sorted.  Unlike the lint's source walk this
+   must descend into dot-directories: dune keeps .cmt files in
+   [.<lib>.objs/byte/]. *)
+let rec cmts_under path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.concat_map (fun entry -> cmts_under (Filename.concat path entry))
+  else if Filename.check_suffix path ".cmt" then [ normalise path ]
+  else []
+
+let discover roots = List.concat_map cmts_under roots |> List.sort_uniq String.compare

@@ -1,0 +1,80 @@
+(* ecfd-analyze: the repo's typed whole-program determinism & purity
+   analyzer.  Where ecfd-lint (tools/lint) works on parsetrees and pins
+   down syntactic shapes, this pass loads the .cmt files dune already
+   produced and runs type- and alias-aware interprocedural rules the
+   parsetree cannot express (pool-job purity, callback exception-safety,
+   aliased polymorphic compare, typed unordered escape).
+
+     ecfd_analyze [--list-rules] [--json FILE] [DIR ...]
+
+   Scans every .cmt below the given directories (default: lib bench,
+   i.e. the library build trees when run from inside _build/default via
+   `dune build @analyze`), prints findings as "file:line: [RULE] message"
+   and exits non-zero if there are any.  With [--json FILE] the findings
+   are also written as a JSON array (empty on a clean pass) for CI
+   artifacts.  See HACKING.md, "Typed analysis (A-rules)". *)
+
+open Analyze_core
+
+let usage () =
+  prerr_endline
+    "usage: ecfd_analyze [--list-rules] [--json FILE] [DIR ...]   (default dirs: lib \
+     bench)";
+  exit 2
+
+let list_rules () =
+  List.iter
+    (fun (r : Arule.t) -> Printf.printf "%-4s %-12s %s\n" r.id r.key r.doc)
+    Registry.all;
+  print_string
+    "ANALYZE analyze    a [@analyze.allow] attribute itself is malformed or lacks a \
+     reason\n\
+     CMT  cmt          a .cmt file below the scanned roots could not be read\n"
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.mem "--help" args || List.mem "-h" args then usage ();
+  if List.mem "--list-rules" args then begin
+    list_rules ();
+    exit 0
+  end;
+  let json_file = ref None in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--json" :: file :: rest ->
+      json_file := Some file;
+      parse acc rest
+    | "--json" :: [] -> usage ()
+    | a :: rest ->
+      if String.length a > 0 && a.[0] = '-' then usage ();
+      parse (a :: acc) rest
+  in
+  let roots = match parse [] args with [] -> [ "lib"; "bench" ] | roots -> roots in
+  List.iter
+    (fun r ->
+      if not (Sys.file_exists r) then begin
+        Printf.eprintf "ecfd-analyze: no such file or directory: %s\n" r;
+        exit 2
+      end)
+    roots;
+  let findings, n_units = Driver.run roots in
+  if n_units = 0 then begin
+    Printf.eprintf
+      "ecfd-analyze: no .cmt files below %s — build first (dune build @all)\n"
+      (String.concat " " roots);
+    exit 2
+  end;
+  (match !json_file with
+  | Some file ->
+    let oc = open_out file in
+    output_string oc (Check_common.Finding.list_to_json findings);
+    close_out oc
+  | None -> ());
+  List.iter (fun f -> print_endline (Check_common.Finding.to_string f)) findings;
+  match List.length findings with
+  | 0 ->
+    Printf.eprintf "ecfd-analyze: clean (%d rule(s) over %d unit(s) below %s)\n"
+      (List.length Registry.all) n_units (String.concat " " roots)
+  | n ->
+    Printf.eprintf "ecfd-analyze: %d finding(s)\n" n;
+    exit 1

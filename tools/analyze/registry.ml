@@ -1,0 +1,10 @@
+(* The A-rule registry — the one place a new typed rule is added
+   (mirrors tools/lint/registry.ml for the syntactic R-rules). *)
+
+let all : Arule.t list =
+  [
+    Rule_pure.rule;  (* A1 *)
+    Rule_exnsafe.rule;  (* A2 *)
+    Rule_polycmp_t.rule;  (* A3 *)
+    Rule_unordered_t.rule;  (* A4 *)
+  ]

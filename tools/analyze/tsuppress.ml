@@ -1,0 +1,64 @@
+(* Per-site suppression for the typed analyzer:
+   [@analyze.allow <rule-key> "reason"].
+
+   Same semantics as the lint's [@lint.allow] (Check_common.Allow_payload):
+   the attribute may sit on an expression or a value binding, or float at
+   the top of a file ([@@@analyze.allow ...] suppresses for the whole
+   file); the reason string is mandatory, and a broken attribute is itself
+   reported (rule [ANALYZE]).  Attributes survive typing unchanged, so the
+   spans are collected from the typedtree of the .cmt — no reparse. *)
+
+type t = {
+  spans : Check_common.Allow_payload.span list;
+  findings : Check_common.Finding.t list;
+}
+
+let attr_name = "analyze.allow"
+
+(* The escape hatch of rule A2: a callback annotated
+   [@analyze.may_raise] is allowed to let exceptions escape. *)
+let may_raise_attr = "analyze.may_raise"
+
+let collect (src : Cmt_source.t) =
+  let spans = ref [] and findings = ref [] in
+  let note_attrs ~(span : Location.t) (attrs : Parsetree.attributes) =
+    List.iter
+      (fun (attr : Parsetree.attribute) ->
+        match
+          Check_common.Allow_payload.classify ~attr_name ~meta_rule:"ANALYZE"
+            ~meta_key:"analyze" ~span attr
+        with
+        | None -> ()
+        | Some (Ok span) -> spans := span :: !spans
+        | Some (Error f) -> findings := f :: !findings)
+      attrs
+  in
+  let open Tast_iterator in
+  let it =
+    {
+      default_iterator with
+      expr =
+        (fun self (e : Typedtree.expression) ->
+          note_attrs ~span:e.exp_loc e.exp_attributes;
+          default_iterator.expr self e);
+      value_binding =
+        (fun self (vb : Typedtree.value_binding) ->
+          note_attrs ~span:vb.vb_loc vb.vb_attributes;
+          default_iterator.value_binding self vb);
+      structure_item =
+        (fun self (item : Typedtree.structure_item) ->
+          (match item.str_desc with
+          | Tstr_attribute attr ->
+            note_attrs
+              ~span:(Check_common.Allow_payload.file_span src.source_path)
+              [ attr ]
+          | Tstr_eval (_, attrs) -> note_attrs ~span:item.str_loc attrs
+          | _ -> ());
+          default_iterator.structure_item self item);
+    }
+  in
+  it.structure it src.str;
+  { spans = !spans; findings = !findings }
+
+let is_suppressed t (f : Check_common.Finding.t) =
+  Check_common.Allow_payload.covers t.spans f

@@ -1,0 +1,68 @@
+(* The payload grammar of per-site suppression attributes, shared by
+   [@lint.allow <key> "reason"] (ecfd-lint, parsetree spans) and
+   [@analyze.allow <key> "reason"] (ecfd-analyze, typedtree spans).  Each
+   pass walks its own tree to find the attributes; the payload shape, the
+   mandatory-reason policy and the span-matching rule live here so the two
+   suppression languages cannot drift apart. *)
+
+type span = { key : string; left : int; right : int }
+
+(* Payload forms accepted:
+     [@<pass>.allow key "reason"]   -> Some (key, Some reason)
+     [@<pass>.allow key]            -> Some (key, None)       (missing reason)
+   anything else                    -> None                   (malformed)  *)
+let parse (attr : Parsetree.attribute) =
+  match attr.attr_payload with
+  | PStr [ { pstr_desc = Pstr_eval (e, _); _ } ] -> (
+    match e.pexp_desc with
+    | Pexp_ident { txt = Lident key; _ } -> Some (key, None)
+    | Pexp_apply
+        ( { pexp_desc = Pexp_ident { txt = Lident key; _ }; _ },
+          [ (Nolabel, { pexp_desc = Pexp_constant (Pconst_string (reason, _, _)); _ }) ]
+        ) ->
+      Some (key, Some reason)
+    | _ -> None)
+  | _ -> None
+
+(* Interpret one attribute named [attr_name] covering [span]: either a
+   well-formed suppression span, or a finding (reported under [meta_rule],
+   "LINT" / "ANALYZE") describing why the attribute itself is broken. *)
+let classify ~attr_name ~meta_rule ~meta_key ~(span : Location.t)
+    (attr : Parsetree.attribute) =
+  if not (String.equal attr.attr_name.txt attr_name) then None
+  else
+    match parse attr with
+    | Some (key, Some reason) when String.trim reason <> "" ->
+      Some
+        (Ok { key; left = span.loc_start.pos_cnum; right = span.loc_end.pos_cnum })
+    | Some (key, _) ->
+      Some
+        (Error
+           (Finding.of_loc ~rule:meta_rule ~key:meta_key
+              ~msg:
+                (Printf.sprintf
+                   "[@%s %s] needs a non-empty reason string, e.g. [@%s %s \"why \
+                    this site is safe\"]"
+                   attr_name key attr_name key)
+              attr.attr_loc))
+    | None ->
+      Some
+        (Error
+           (Finding.of_loc ~rule:meta_rule ~key:meta_key
+              ~msg:
+                (Printf.sprintf "malformed [@%s]: expected <rule-key> \"reason\""
+                   attr_name)
+              attr.attr_loc))
+
+(* A whole-file span, for floating [@@@<pass>.allow ...] attributes. *)
+let file_span path : Location.t =
+  {
+    loc_start = { pos_fname = path; pos_lnum = 1; pos_bol = 0; pos_cnum = 0 };
+    loc_end = { pos_fname = path; pos_lnum = max_int; pos_bol = 0; pos_cnum = max_int };
+    loc_ghost = false;
+  }
+
+let covers spans (f : Finding.t) =
+  List.exists
+    (fun s -> String.equal s.key f.key && s.left <= f.offset && f.offset <= s.right)
+    spans

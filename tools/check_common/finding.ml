@@ -1,0 +1,68 @@
+(* A single static-analysis finding, shared by ecfd-lint (parsetree rules,
+   R1..) and ecfd-analyze (typedtree rules, A1..).  [offset] is the
+   absolute character offset of the flagged node's start — used only to
+   match suppression spans, never printed. *)
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  offset : int;
+  rule : string;  (** Rule id, e.g. ["R1"] or ["A1"]. *)
+  key : string;  (** Suppression key, e.g. ["ambient"] or ["pure"]. *)
+  msg : string;
+}
+
+let of_loc ~rule ~key ~msg (loc : Location.t) =
+  let p = loc.loc_start in
+  {
+    file = p.pos_fname;
+    line = p.pos_lnum;
+    col = p.pos_cnum - p.pos_bol;
+    offset = p.pos_cnum;
+    rule;
+    key;
+    msg;
+  }
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.msg b.msg
+
+let to_string f = Printf.sprintf "%s:%d: [%s] %s" f.file f.line f.rule f.msg
+
+(* Machine-readable form for CI artifacts (ANALYZE_findings.json). *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json f =
+  Printf.sprintf
+    {|{"file": "%s", "line": %d, "col": %d, "rule": "%s", "key": "%s", "msg": "%s"}|}
+    (json_escape f.file) f.line f.col (json_escape f.rule) (json_escape f.key)
+    (json_escape f.msg)
+
+let list_to_json fs =
+  match fs with
+  | [] -> "[]\n"
+  | fs ->
+    "[\n  " ^ String.concat ",\n  " (List.map to_json fs) ^ "\n]\n"

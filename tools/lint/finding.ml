@@ -1,40 +1,4 @@
-(* A single lint finding.  [offset] is the absolute character offset of the
-   flagged node's start — used only to match suppression spans, never
-   printed. *)
+(* Findings are shared with ecfd-analyze (tools/analyze) through
+   tools/check_common so the two passes print and compare identically. *)
 
-type t = {
-  file : string;
-  line : int;
-  col : int;
-  offset : int;
-  rule : string;  (** Rule id, e.g. ["R1"]. *)
-  key : string;  (** Suppression key, e.g. ["ambient"]. *)
-  msg : string;
-}
-
-let of_loc ~rule ~key ~msg (loc : Location.t) =
-  let p = loc.loc_start in
-  {
-    file = p.pos_fname;
-    line = p.pos_lnum;
-    col = p.pos_cnum - p.pos_bol;
-    offset = p.pos_cnum;
-    rule;
-    key;
-    msg;
-  }
-
-let compare a b =
-  let c = String.compare a.file b.file in
-  if c <> 0 then c
-  else
-    let c = Int.compare a.line b.line in
-    if c <> 0 then c
-    else
-      let c = Int.compare a.col b.col in
-      if c <> 0 then c
-      else
-        let c = String.compare a.rule b.rule in
-        if c <> 0 then c else String.compare a.msg b.msg
-
-let to_string f = Printf.sprintf "%s:%d: [%s] %s" f.file f.line f.rule f.msg
+include Check_common.Finding

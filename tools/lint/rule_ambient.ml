@@ -15,8 +15,15 @@
 let rule_id = "R1"
 let key = "ambient"
 
-(* The one module allowed to be built on ambient-looking primitives. *)
-let exempt_file path = Filename.basename path = "rng.ml"
+(* The one module allowed to be built on ambient-looking primitives: the
+   seeded generator itself, by exact path — any other file that happens to
+   be called rng.ml (a decoy in a fixture tree, a second generator grown
+   elsewhere) gets no exemption. *)
+let exempt_file path =
+  let normalized = String.concat "/" (String.split_on_char '\\' path) in
+  normalized = "lib/sim/rng.ml"
+  || String.length normalized > String.length "/lib/sim/rng.ml"
+     && Filename.check_suffix normalized "/lib/sim/rng.ml"
 
 (* The one directory allowed to touch Domain/Atomic/Mutex. *)
 let in_exec_pool path =

@@ -5,72 +5,31 @@
    ([@@@lint.allow ...] suppresses the rule for the whole file).  A finding
    is dropped when its location falls inside the span of a node carrying an
    allow for its rule.  The reason string is mandatory: an allow without
-   one is itself reported (rule [LINT]). *)
+   one is itself reported (rule [LINT]).  The payload grammar and span
+   matching are shared with ecfd-analyze (Check_common.Allow_payload). *)
 
-type span = { key : string; left : int; right : int }
-
-type t = { spans : span list; findings : Finding.t list }
+type t = { spans : Check_common.Allow_payload.span list; findings : Finding.t list }
 
 let attr_name = "lint.allow"
-
-(* Payload forms accepted:
-     [@lint.allow key "reason"]   -> Some (key, Some reason)
-     [@lint.allow key]            -> Some (key, None)       (missing reason)
-   anything else                  -> None                   (malformed)    *)
-let parse_payload (attr : Parsetree.attribute) =
-  match attr.attr_payload with
-  | PStr [ { pstr_desc = Pstr_eval (e, _); _ } ] -> (
-    match e.pexp_desc with
-    | Pexp_ident { txt = Lident key; _ } -> Some (key, None)
-    | Pexp_apply
-        ( { pexp_desc = Pexp_ident { txt = Lident key; _ }; _ },
-          [ (Nolabel, { pexp_desc = Pexp_constant (Pconst_string (reason, _, _)); _ }) ] )
-      ->
-      Some (key, Some reason)
-    | _ -> None)
-  | _ -> None
 
 let collect (src : Rules.source) =
   let spans = ref [] and findings = ref [] in
   let note_attrs ~(span : Location.t) (attrs : Parsetree.attributes) =
     List.iter
       (fun (attr : Parsetree.attribute) ->
-        if String.equal attr.attr_name.txt attr_name then
-          match parse_payload attr with
-          | Some (key, Some reason) when String.trim reason <> "" ->
-            spans :=
-              { key; left = span.loc_start.pos_cnum; right = span.loc_end.pos_cnum }
-              :: !spans
-          | Some (key, _) ->
-            findings :=
-              Finding.of_loc ~rule:"LINT" ~key:"lint"
-                ~msg:
-                  (Printf.sprintf
-                     "[@lint.allow %s] needs a non-empty reason string, e.g. \
-                      [@lint.allow %s \"why this site is safe\"]"
-                     key key)
-                attr.attr_loc
-              :: !findings
-          | None ->
-            findings :=
-              Finding.of_loc ~rule:"LINT" ~key:"lint"
-                ~msg:"malformed [@lint.allow]: expected <rule-key> \"reason\""
-                attr.attr_loc
-              :: !findings)
+        match
+          Check_common.Allow_payload.classify ~attr_name ~meta_rule:"LINT"
+            ~meta_key:"lint" ~span attr
+        with
+        | None -> ()
+        | Some (Ok span) -> spans := span :: !spans
+        | Some (Error f) -> findings := f :: !findings)
       attrs
   in
-  let whole_file : Location.t ->
-      Parsetree.attributes -> unit =
+  let whole_file : Location.t -> Parsetree.attributes -> unit =
    fun _ attrs ->
     (* Floating attribute: suppress for the entire file. *)
-    note_attrs
-      ~span:
-        {
-          loc_start = { pos_fname = src.path; pos_lnum = 1; pos_bol = 0; pos_cnum = 0 };
-          loc_end = { pos_fname = src.path; pos_lnum = max_int; pos_bol = 0; pos_cnum = max_int };
-          loc_ghost = false;
-        }
-      attrs
+    note_attrs ~span:(Check_common.Allow_payload.file_span src.path) attrs
   in
   let open Ast_iterator in
   let it =
@@ -104,7 +63,4 @@ let collect (src : Rules.source) =
   it.structure it src.structure;
   { spans = !spans; findings = !findings }
 
-let is_suppressed t (f : Finding.t) =
-  List.exists
-    (fun s -> String.equal s.key f.key && s.left <= f.offset && f.offset <= s.right)
-    t.spans
+let is_suppressed t (f : Finding.t) = Check_common.Allow_payload.covers t.spans f
