@@ -281,6 +281,41 @@ let protocol_component = function
   | Scenario.Mr -> Consensus.Mr_consensus.component
   | Scenario.Hr -> Consensus.Hr_consensus.component
 
+(* Canonical-run trace export (the CI artifact).  The e4 cell EXPERIMENTS.md
+   documents as the Perfetto example — n = 8, <>C consensus, stable scripted
+   detector — rendered through both exporters.  The render runs as a pool
+   job like any grid cell, and the exported bytes are a pure function of the
+   trace, so test_exec checks them byte-identical across domain counts. *)
+let e4_trace_exports () =
+  match
+    Exec.Pool.run
+      [
+        (fun () ->
+          let r =
+            stable_round_run ~n:8 ~protocol:(Scenario.Ec Ecfd.Ec_consensus.default_params)
+          in
+          ( Sim.Trace_export.chrome_string r.Scenario.trace,
+            Sim.Trace_export.jsonl_string r.Scenario.trace ));
+      ]
+  with
+  | [ exports ] -> exports
+  | _ -> assert false
+
+(* ECFD_TRACE_EXPORT=1 writes the canonical exports next to the bench JSON.
+   The note goes to stderr only: stdout must stay byte-identical whether or
+   not the export runs. *)
+let maybe_export_e4_traces () =
+  if Sys.getenv_opt "ECFD_TRACE_EXPORT" = Some "1" then begin
+    let chrome, jsonl = e4_trace_exports () in
+    List.iter
+      (fun (path, data) ->
+        let oc = open_out_bin path in
+        output_string oc data;
+        close_out oc;
+        Printf.eprintf "ecfd-bench: wrote %s\n%!" path)
+      [ ("TRACE_e4.chrome.json", chrome); ("TRACE_e4.jsonl", jsonl) ]
+  end
+
 let e4 () =
   Tables.heading "E4"
     "Consensus round cost (Section 5.4): phases and messages per stable round";
@@ -327,7 +362,8 @@ let e4 () =
   Tables.note "steady state.  The paper counts a process's message to itself; the simulator";
   Tables.note "treats self-sends as local (4(n-1)/3(n-1)/3n(n-1) vs the paper's 4n/3n/3n^2).";
   Tables.note "The trade-off of Section 5.4 spans all four: 5/4/3/2 communication phases";
-  Tables.note "against Theta(n)/Theta(n)/Theta(n^2)/Theta(n^2) messages per round."
+  Tables.note "against Theta(n)/Theta(n)/Theta(n^2)/Theta(n^2) messages per round.";
+  maybe_export_e4_traces ()
 
 (* ------------------------------------------------------------------ *)
 (* E5 — Theorem 3: rounds after stabilisation                         *)

@@ -148,13 +148,15 @@ let sim_core () =
     "capacity": %d,
     "max_residency": %d,
     "residency_at_end": %d
-  }
+  },
+  "obs": %s
 }
 |}
     n target lc.Sim.Stats.events_executed elapsed events_per_sec
     lc.Sim.Stats.queue_high_water lc.Sim.Stats.timers_set lc.Sim.Stats.timers_fired
     lc.Sim.Stats.timers_cancelled lc.Sim.Stats.timers_reclaimed table_capacity max_residency
-    residency_end;
+    residency_end
+    (Obs.Registry.json_of_snapshot (Obs.Registry.snapshot (Sim.Engine.obs engine)));
   close_out oc;
   Tables.note "Wrote %s (SIM_CORE_EVENTS=%d; set the env var for smoke runs)." sim_core_json_file
     target;

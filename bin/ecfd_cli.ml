@@ -81,6 +81,7 @@ let detector_conv =
       ("ec-from-omega-chu", `Ec_from_omega_chu);
       ("ec-from-heartbeat", `Ec_from_heartbeat);
       ("ec-from-perfect", `Ec_from_perfect);
+      ("scripted-stable", `Scripted_stable);
     ]
   in
   Arg.enum all
@@ -99,11 +100,10 @@ let to_detector ~schedule = function
   | `Ec_from_omega_chu -> Scenario.Ec_from_omega_chu
   | `Ec_from_heartbeat -> Scenario.Ec_from_heartbeat
   | `Ec_from_perfect -> Scenario.Ec_from_perfect schedule
+  | `Scripted_stable -> Scenario.Scripted_stable 0
 
 let print_trace trace =
-  List.iter
-    (fun e -> Format.printf "%a@." Sim.Trace.pp_event e)
-    (Sim.Trace.events trace)
+  Sim.Trace.iter trace (fun e -> Format.printf "%a@." Sim.Trace.pp_event e)
 
 let print_matrix run =
   Format.printf "@.Property matrix:@.";
@@ -279,6 +279,66 @@ let transform_cmd =
           & info [ "piggyback" ]
               ~doc:"Ride the suspect lists on the underlying detector's heartbeats."))
 
+(* --- trace subcommand --- *)
+
+let trace_cmd =
+  let run protocol detector n seed gst delta horizon crashes format out =
+    let schedule = Sim.Fault.crashes crashes in
+    let detector = to_detector ~schedule detector in
+    let protocol =
+      match protocol with
+      | `Ec -> Scenario.Ec Ecfd.Ec_consensus.default_params
+      | `Ec_merged -> Scenario.Ec { Ecfd.Ec_consensus.default_params with merge_phase01 = true }
+      | `Ec_strict ->
+        Scenario.Ec
+          { Ecfd.Ec_consensus.default_params with wait_mode = Ecfd.Ec_consensus.Strict_majority }
+      | `Ct -> Scenario.Ct
+      | `Mr -> Scenario.Mr
+      | `Hr -> Scenario.Hr
+    in
+    let r =
+      Scenario.run_consensus ~net:(net ~seed ~gst ~delta) ~crashes:schedule ~horizon ~n ~detector
+        ~protocol ()
+    in
+    let rendered =
+      match format with
+      | `Chrome -> Sim.Trace_export.chrome_string r.Scenario.trace
+      | `Jsonl -> Sim.Trace_export.jsonl_string r.Scenario.trace
+    in
+    match out with
+    | None -> print_string rendered
+    | Some file ->
+      let oc = open_out_bin file in
+      output_string oc rendered;
+      close_out oc;
+      Format.eprintf "trace written to %s (%d events)@." file
+        (Sim.Trace.length r.Scenario.trace)
+  in
+  let doc =
+    "Run a consensus scenario and export its trace (Chrome trace-event JSON for Perfetto, or \
+     JSONL for ecfd-trace)."
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc)
+    Term.(
+      const run
+      $ Arg.(
+          value & opt protocol_conv `Ec
+          & info [ "protocol"; "p" ] ~docv:"PROTO" ~doc:"ec | ec-merged | ec-strict | ct | mr | hr.")
+      $ Arg.(
+          value
+          & opt detector_conv `Ec_from_leader
+          & info [ "detector"; "d" ] ~docv:"DETECTOR" ~doc:"Which detector to install.")
+      $ n_arg $ seed_arg $ gst_arg $ delta_arg $ horizon_arg $ crashes_arg
+      $ Arg.(
+          value
+          & opt (enum [ ("chrome", `Chrome); ("jsonl", `Jsonl) ]) `Jsonl
+          & info [ "format"; "f" ] ~docv:"FMT" ~doc:"chrome or jsonl.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write to $(docv) instead of stdout."))
+
 (* --- sweep subcommand --- *)
 
 let sweep_cmd =
@@ -386,6 +446,6 @@ let main =
   let doc = "Eventually consistent failure detectors (Larrea, Fernández, Arévalo) — simulator" in
   Cmd.group
     (Cmd.info "ecfd" ~doc ~version:"1.0.0")
-    [ fd_cmd; consensus_cmd; transform_cmd; sweep_cmd ]
+    [ fd_cmd; consensus_cmd; transform_cmd; sweep_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -17,13 +17,26 @@ type t = {
   component : string;
   send_one : src:Sim.Pid.t -> dst:Sim.Pid.t -> tag:string -> Sim.Payload.t -> unit;
   states : process_state array;
+  instance_spans : (Sim.Pid.t * int, Sim.Engine.span * Sim.Pid.Set.t ref) Hashtbl.t;
+      (** Per in-flight broadcast: its span and the alive processes that have
+          not yet R-delivered it.  Observer state only — it feeds the trace,
+          never the protocol. *)
+  m_broadcasts : Obs.Registry.counter;
 }
 
 let default_component = "rb"
 
-let deliver t p ~origin body =
+let deliver t p ~origin ~seq body =
   let st = t.states.(p) in
   st.delivered <- st.delivered + 1;
+  (match Hashtbl.find_opt t.instance_spans (origin, seq) with
+  | Some (span, pending) ->
+    pending := Sim.Pid.Set.remove p !pending;
+    if Sim.Pid.Set.is_empty !pending then begin
+      Sim.Engine.end_span t.engine span;
+      Hashtbl.remove t.instance_spans (origin, seq)
+    end
+  | None -> ());
   List.iter (fun f -> f ~origin body) (List.rev st.rev_subscribers)
 
 let create ?(component = default_component) ?(transport = `Engine) engine =
@@ -42,6 +55,8 @@ let create ?(component = default_component) ?(transport = `Engine) engine =
       states =
         Array.init n (fun _ ->
             { next_seq = 0; seen = Hashtbl.create 16; rev_subscribers = []; delivered = 0 });
+      instance_spans = Hashtbl.create 16;
+      m_broadcasts = Obs.Registry.counter (Sim.Engine.obs engine) ~name:"rb.broadcasts";
     }
   in
   let on_message p ~src:_ payload =
@@ -56,7 +71,7 @@ let create ?(component = default_component) ?(transport = `Engine) engine =
         List.iter
           (fun dst -> t.send_one ~src:p ~dst ~tag (Rb { origin; seq; tag; body }))
           (Sim.Pid.others ~n p);
-        deliver t p ~origin body
+        deliver t p ~origin ~seq body
       end
     | _ -> ()
   in
@@ -73,6 +88,12 @@ let rbroadcast t ~src ~tag body =
   let st = t.states.(src) in
   let seq = st.next_seq in
   st.next_seq <- seq + 1;
+  Obs.Registry.incr t.m_broadcasts;
+  (* The instance span runs from the broadcast to the last R-delivery among
+     the processes alive right now; a crash mid-broadcast leaves it open. *)
+  let pending = ref (Sim.Pid.set_of_list (Sim.Engine.alive_processes t.engine)) in
+  let span = Sim.Engine.begin_span t.engine src ~component:t.component ~name:"rb-instance" in
+  Hashtbl.replace t.instance_spans (src, seq) (span, pending);
   (* The self-copy goes through the local delivery path (a self-send), so
      the originator R-delivers its own message like everybody else. *)
   t.send_one ~src ~dst:src ~tag (Rb { origin = src; seq; tag; body })

@@ -23,6 +23,7 @@ type pstate = {
   mutable ts : int;
   mutable phase : phase;
   mutable decided : Instance.decision option;
+  mutable round_span : Sim.Engine.span option;  (** Open while participating in a round. *)
   estimates : (int, (Value.t * int) list ref) Hashtbl.t;
   proposals : (int, Value.t) Hashtbl.t;
   replies : (int, replies) Hashtbl.t;
@@ -31,6 +32,7 @@ type pstate = {
 let install ?(component = component) ?(max_rounds = 100_000) engine ~fd ~rb () =
   let n = Sim.Engine.n engine in
   let majority = (n / 2) + 1 in
+  let m_rounds = Obs.Registry.counter (Sim.Engine.obs engine) ~name:"consensus.ct.rounds" in
   let states =
     Array.init n (fun _ ->
         {
@@ -39,10 +41,18 @@ let install ?(component = component) ?(max_rounds = 100_000) engine ~fd ~rb () =
           ts = 0;
           phase = Idle;
           decided = None;
+          round_span = None;
           estimates = Hashtbl.create 16;
           proposals = Hashtbl.create 16;
           replies = Hashtbl.create 16;
         })
+  in
+  let close_round_span st =
+    match st.round_span with
+    | Some s ->
+      Sim.Engine.end_span engine s;
+      st.round_span <- None
+    | None -> ()
   in
   let coordinator r = r mod n in
   let estimates_of st r =
@@ -75,6 +85,7 @@ let install ?(component = component) ?(max_rounds = 100_000) engine ~fd ~rb () =
       let d = { Instance.value; round = round + 1; at = Sim.Engine.now engine } in
       st.decided <- Some d;
       st.phase <- Halted;
+      close_round_span st;
       Sim.Trace.record (Sim.Engine.trace engine)
         (Sim.Trace.Decide { at = Sim.Engine.now engine; pid = p; value; round = round + 1 })
     end
@@ -90,12 +101,17 @@ let install ?(component = component) ?(max_rounds = 100_000) engine ~fd ~rb () =
         : Sim.Engine.timer)
   and really_advance p =
     let st = states.(p) in
-    if st.round + 1 >= max_rounds then
+    if st.round + 1 >= max_rounds then begin
       (* Safety valve: a detector violating ◇S could make a process burn
          through rounds forever within one simulation instant. *)
-      st.phase <- Halted
+      st.phase <- Halted;
+      close_round_span st
+    end
     else begin
     st.round <- st.round + 1;
+    close_round_span st;
+    Obs.Registry.incr m_rounds;
+    st.round_span <- Some (Sim.Engine.begin_span engine p ~component ~name:"round");
     let c = coordinator st.round in
     if Sim.Pid.equal c p then begin
       (* Phase 1, self: the coordinator's own estimate joins the pool

@@ -23,6 +23,7 @@ type pstate = {
   mutable est : Value.t;
   mutable phase : phase;
   mutable decided : Instance.decision option;
+  mutable round_span : Sim.Engine.span option;  (** Open while participating in a round. *)
   buffers : (int, round_buffers) Hashtbl.t;
 }
 
@@ -31,9 +32,24 @@ let install ?(component = component) ?f ?(max_rounds = 100_000) engine ~fd ~rb (
   let f = match f with Some f -> f | None -> (n - 1) / 2 in
   if f < 0 || 2 * f >= n then invalid_arg "Hr_consensus.install: need 0 <= f < n/2";
   let quorum = n - f in
+  let m_rounds = Obs.Registry.counter (Sim.Engine.obs engine) ~name:"consensus.hr.rounds" in
   let states =
     Array.init n (fun _ ->
-        { round = -1; est = Value.null; phase = Idle; decided = None; buffers = Hashtbl.create 16 })
+        {
+          round = -1;
+          est = Value.null;
+          phase = Idle;
+          decided = None;
+          round_span = None;
+          buffers = Hashtbl.create 16;
+        })
+  in
+  let close_round_span st =
+    match st.round_span with
+    | Some s ->
+      Sim.Engine.end_span engine s;
+      st.round_span <- None
+    | None -> ()
   in
   let coordinator r = r mod n in
   let buffers_of st r =
@@ -54,6 +70,7 @@ let install ?(component = component) ?f ?(max_rounds = 100_000) engine ~fd ~rb (
       let d = { Instance.value; round = round + 1; at = Sim.Engine.now engine } in
       st.decided <- Some d;
       st.phase <- Halted;
+      close_round_span st;
       Sim.Trace.record (Sim.Engine.trace engine)
         (Sim.Trace.Decide { at = Sim.Engine.now engine; pid = p; value; round = round + 1 })
     end
@@ -68,10 +85,16 @@ let install ?(component = component) ?f ?(max_rounds = 100_000) engine ~fd ~rb (
         : Sim.Engine.timer)
   and enter_round p r =
     let st = states.(p) in
-    if r >= max_rounds then st.phase <- Halted
+    if r >= max_rounds then begin
+      st.phase <- Halted;
+      close_round_span st
+    end
     else begin
       st.round <- r;
       st.phase <- Wait_current;
+      close_round_span st;
+      Obs.Registry.incr m_rounds;
+      st.round_span <- Some (Sim.Engine.begin_span engine p ~component ~name:"round");
       if Sim.Pid.equal (coordinator r) p then begin
         (* Step 1: the coordinator announces its estimate (everybody,
            itself included via the local copy). *)

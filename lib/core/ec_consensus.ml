@@ -55,6 +55,7 @@ type pstate = {
   mutable coord : Sim.Pid.t option;  (** My coordinator for the current round. *)
   mutable decided : Instance.decision option;
   mutable rev_announcements : announcement list;
+  mutable round_span : Sim.Engine.span option;  (** Open while participating in a round. *)
   services : (int, service) Hashtbl.t;
   props : (int, (Sim.Pid.t * Value.t option) list ref) Hashtbl.t;  (** Arrival order, reversed. *)
 }
@@ -76,6 +77,7 @@ let install ?(component = component) ?(transport = `Engine) engine ~fd ~rb param
   let send_all_others ~src ~tag payload =
     List.iter (fun dst -> send_one ~src ~dst ~tag payload) (Sim.Pid.others ~n src)
   in
+  let m_rounds = Obs.Registry.counter (Sim.Engine.obs engine) ~name:"consensus.ec.rounds" in
   let states =
     Array.init n (fun _ ->
         {
@@ -86,9 +88,17 @@ let install ?(component = component) ?(transport = `Engine) engine ~fd ~rb param
           coord = None;
           decided = None;
           rev_announcements = [];
+          round_span = None;
           services = Hashtbl.create 16;
           props = Hashtbl.create 16;
         })
+  in
+  let close_round_span st =
+    match st.round_span with
+    | Some s ->
+      Sim.Engine.end_span engine s;
+      st.round_span <- None
+    | None -> ()
   in
   let service_of st r =
     match Hashtbl.find_opt st.services r with
@@ -123,6 +133,7 @@ let install ?(component = component) ?(transport = `Engine) engine ~fd ~rb param
       let d = { Instance.value; round = round + 1; at = Sim.Engine.now engine } in
       st.decided <- Some d;
       st.phase <- Halted;
+      close_round_span st;
       Sim.Trace.record (Sim.Engine.trace engine)
         (Sim.Trace.Decide { at = Sim.Engine.now engine; pid = p; value; round = round + 1 })
     end
@@ -237,11 +248,17 @@ let install ?(component = component) ?(transport = `Engine) engine ~fd ~rb param
         : Sim.Engine.timer)
   and enter_round p r =
     let st = states.(p) in
-    if r >= params.max_rounds then st.phase <- Halted
+    if r >= params.max_rounds then begin
+      st.phase <- Halted;
+      close_round_span st
+    end
     else begin
       st.round <- r;
       st.coord <- None;
       st.phase <- Wait_coordinator;
+      close_round_span st;
+      Obs.Registry.incr m_rounds;
+      st.round_span <- Some (Sim.Engine.begin_span engine p ~component ~name:"round");
       sweep_announcements p;
       step p
     end

@@ -23,6 +23,7 @@ type process_state = {
   last_alive : Sim.Sim_time.t array;
   timeout : int array;
   mutable was_leader : bool;
+  mutable epoch_span : Sim.Engine.span option;  (** Open while this process leads. *)
 }
 
 (* Shared by the stand-alone and piggybacked variants; they differ only in
@@ -32,6 +33,8 @@ let install_gen ~component ~task1 ~wire_task5 engine ~underlying params =
     invalid_arg "Ec_to_p.install: periods and initial_timeout must be positive";
   let n = Sim.Engine.n engine in
   let handle = Fd.Fd_handle.make engine ~component in
+  let m_epochs = Obs.Registry.counter (Sim.Engine.obs engine) ~name:"ec_to_p.leader_epochs" in
+  let m_suspicions = Obs.Registry.counter (Sim.Engine.obs engine) ~name:"ec_to_p.suspicions" in
   let states =
     Array.init n (fun _ ->
         {
@@ -39,6 +42,7 @@ let install_gen ~component ~task1 ~wire_task5 engine ~underlying params =
           last_alive = Array.make n Sim.Sim_time.zero;
           timeout = Array.make n params.initial_timeout;
           was_leader = false;
+          epoch_span = None;
         })
   in
   let is_leader p = Option.equal Sim.Pid.equal (Fd.Fd_handle.trusted underlying p) (Some p) in
@@ -70,7 +74,16 @@ let install_gen ~component ~task1 ~wire_task5 engine ~underlying params =
          export our own local list — the exported view may still be a list
          adopted from the previous leader. *)
       Array.fill st.last_alive 0 n (Sim.Engine.now engine);
+      Obs.Registry.incr m_epochs;
+      st.epoch_span <- Some (Sim.Engine.begin_span engine p ~component ~name:"leader-epoch");
       publish_own p
+    end;
+    if (not leading) && st.was_leader then begin
+      match st.epoch_span with
+      | Some s ->
+        Sim.Engine.end_span engine s;
+        st.epoch_span <- None
+      | None -> ()
     end;
     st.was_leader <- leading;
     if leading then begin
@@ -83,6 +96,7 @@ let install_gen ~component ~task1 ~wire_task5 engine ~underlying params =
             && now - st.last_alive.(q) > st.timeout.(q)
           then begin
             st.local_suspects <- Sim.Pid.Set.add q st.local_suspects;
+            Obs.Registry.incr m_suspicions;
             changed := true
           end)
         (Sim.Pid.others ~n p);

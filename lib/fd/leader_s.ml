@@ -23,6 +23,7 @@ type process_state = {
   mutable candidate_since : Sim.Sim_time.t;  (** When we (re)adopted it. *)
   mutable last_heard : Sim.Sim_time.t;  (** Last heartbeat from the candidate. *)
   timeout : int array;  (** Per peer: adaptive time-out. *)
+  mutable epoch_span : Sim.Engine.span option;  (** Open while trusting the current candidate. *)
 }
 
 let install ?(component = component) ?hooks engine params =
@@ -31,6 +32,9 @@ let install ?(component = component) ?hooks engine params =
   let hooks = match hooks with Some h -> h | None -> make_hooks () in
   let n = Sim.Engine.n engine in
   let handle = Fd_handle.make engine ~component in
+  let m_adoptions =
+    Obs.Registry.counter (Sim.Engine.obs engine) ~name:"fd.leader_s.adoptions"
+  in
   let states =
     Array.init n (fun _ ->
         {
@@ -38,6 +42,7 @@ let install ?(component = component) ?hooks engine params =
           candidate_since = Sim.Sim_time.zero;
           last_heard = Sim.Sim_time.zero;
           timeout = Array.make n params.initial_timeout;
+          epoch_span = None;
         })
   in
   let everybody = Sim.Pid.set_of_list (Sim.Pid.all ~n) in
@@ -48,6 +53,14 @@ let install ?(component = component) ?hooks engine params =
   in
   let adopt p q =
     let st = states.(p) in
+    Obs.Registry.incr m_adoptions;
+    if not (Sim.Pid.equal st.candidate q) then begin
+      (* A candidate change ends the old trust epoch and opens a new one. *)
+      (match st.epoch_span with
+      | Some s -> Sim.Engine.end_span engine s
+      | None -> ());
+      st.epoch_span <- Some (Sim.Engine.begin_span engine p ~component ~name:"candidate-epoch")
+    end;
     st.candidate <- q;
     st.candidate_since <- Sim.Engine.now engine;
     st.last_heard <- Sim.Engine.now engine;

@@ -28,6 +28,13 @@ type t = {
   handlers : (string, (src:Pid.t -> Payload.t -> unit) option array) Hashtbl.t;
   trace : Trace.t;
   stats : Stats.t;
+  obs : Obs.Registry.t;
+  m_delivery_latency : Obs.Registry.histogram;
+  m_span_duration : Obs.Registry.histogram;
+  m_queue_depth_hw : Obs.Registry.gauge;
+  m_timer_residency_hw : Obs.Registry.gauge;
+  mutable next_msg : int;  (* message ids handed to Send/Deliver/Drop trace events *)
+  mutable next_span : int;  (* span ids handed to Span_begin/Span_end *)
   mutable timer_gens : int array;
   mutable timer_states : timer_state array;
   mutable timer_free : int list;  (* reclaimed slots below [timer_next_slot] *)
@@ -35,8 +42,14 @@ type t = {
   mutable timer_live : int;  (* Armed + Cancelled slots awaiting reclaim *)
 }
 
+(* Sim-tick buckets shared by the engine's latency-shaped histograms: fine
+   resolution around typical post-GST delays, coarse tail for pre-GST
+   chaos and long protocol phases. *)
+let tick_buckets = [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024; 4096 ]
+
 let create ?(seed = 0) ~n ~link () =
   if n < 1 then invalid_arg "Engine.create: n must be >= 1";
+  let obs = Obs.Registry.create () in
   {
     n;
     now = Sim_time.zero;
@@ -47,6 +60,14 @@ let create ?(seed = 0) ~n ~link () =
     handlers = Hashtbl.create 8;
     trace = Trace.create ();
     stats = Stats.create ();
+    obs;
+    m_delivery_latency =
+      Obs.Registry.histogram obs ~name:"engine.delivery_latency" ~buckets:tick_buckets;
+    m_span_duration = Obs.Registry.histogram obs ~name:"engine.span_duration" ~buckets:tick_buckets;
+    m_queue_depth_hw = Obs.Registry.gauge obs ~name:"engine.queue_depth_high_water";
+    m_timer_residency_hw = Obs.Registry.gauge obs ~name:"engine.timer_residency_high_water";
+    next_msg = 0;
+    next_span = 0;
     timer_gens = [||];
     timer_states = [||];
     timer_free = [];
@@ -58,6 +79,7 @@ let n t = t.n
 let now t = t.now
 let trace t = t.trace
 let stats t = t.stats
+let obs t = t.obs
 let link_description t = t.link.Link.describe
 
 let check_pid t p =
@@ -73,7 +95,9 @@ let alive_processes t = List.filter (fun p -> t.alive.(p)) (Pid.all ~n:t.n)
    is exact, not sampled. *)
 let schedule_event t ~at kind =
   Event_queue.schedule t.queue ~at kind;
-  Stats.note_queue_depth t.stats ~depth:(Event_queue.length t.queue)
+  let depth = Event_queue.length t.queue in
+  Stats.note_queue_depth t.stats ~depth;
+  Obs.Registry.set_max t.m_queue_depth_hw depth
 
 let schedule_crash t p ~at =
   check_pid t p;
@@ -101,18 +125,21 @@ let send t ~component ~tag ~src ~dst payload =
   check_pid t src;
   check_pid t dst;
   if t.alive.(src) then begin
-    let envelope =
-      { Payload.src; dst; component; tag; payload; sent_at = t.now }
-    in
     if Pid.equal src dst then
-      (* Local delivery: immediate, not a network message, not counted. *)
-      schedule_event t ~at:t.now (Deliver envelope)
+      (* Local delivery: immediate, not a network message, not counted,
+         not traced (hence no message id). *)
+      schedule_event t ~at:t.now
+        (Deliver { Payload.src; dst; component; tag; payload; sent_at = t.now; msg = -1 })
     else begin
-      Trace.record t.trace (Send { at = t.now; src; dst; component; tag });
+      let msg = t.next_msg in
+      t.next_msg <- msg + 1;
+      let envelope = { Payload.src; dst; component; tag; payload; sent_at = t.now; msg } in
+      Trace.record t.trace (Send { at = t.now; src; dst; msg; component; tag });
       Stats.on_send t.stats ~component ~tag;
       match t.link.Link.fate ~rng:t.rng ~now:t.now ~src ~dst with
       | Link.Drop ->
-        Trace.record t.trace (Drop { at = t.now; src; dst; component; tag; reason = "lossy" });
+        Trace.record t.trace
+          (Drop { at = t.now; src; dst; msg; component; tag; reason = "lossy" });
         Stats.on_drop t.stats ~component ~tag
       | Link.Deliver_at at ->
         assert (at >= t.now);
@@ -166,6 +193,7 @@ let set_timer t p ~delay callback =
   t.timer_states.(slot) <- Armed;
   t.timer_live <- t.timer_live + 1;
   Stats.note_timer_residency t.stats ~residency:t.timer_live;
+  Obs.Registry.set_max t.m_timer_residency_hw t.timer_live;
   Stats.on_timer_set t.stats;
   schedule_event t ~at:(t.now + delay) (Timer_fire { pid = p; slot; gen; callback });
   { slot; gen }
@@ -211,15 +239,43 @@ let at t instant callback =
 
 let note t p ~tag detail = Trace.record t.trace (Note { at = t.now; pid = p; tag; detail })
 
+type span = {
+  span_id : int;
+  span_pid : Pid.t;
+  span_component : string;
+  span_name : string;
+  opened_at : Sim_time.t;
+  mutable closed : bool;
+}
+
+let begin_span t p ~component ~name =
+  check_pid t p;
+  let span_id = t.next_span in
+  t.next_span <- span_id + 1;
+  Trace.record t.trace
+    (Span_begin { at = t.now; pid = p; component; span = span_id; name });
+  { span_id; span_pid = p; span_component = component; span_name = name; opened_at = t.now;
+    closed = false }
+
+let end_span t s =
+  if not s.closed then begin
+    s.closed <- true;
+    Trace.record t.trace
+      (Span_end
+         { at = t.now; pid = s.span_pid; component = s.span_component; span = s.span_id;
+           name = s.span_name });
+    Obs.Registry.observe t.m_span_duration (t.now - s.opened_at)
+  end
+
 let record_fd_view t ~component p ~suspected ~trusted =
   Trace.record t.trace (Fd_view { at = t.now; pid = p; component; suspected; trusted })
 
 let dispatch t (envelope : Payload.envelope) =
-  let { Payload.src; dst; component; tag; payload; _ } = envelope in
+  let { Payload.src; dst; component; tag; payload; sent_at; msg } = envelope in
   if not t.alive.(dst) then begin
     if not (Pid.equal src dst) then begin
       Trace.record t.trace
-        (Drop { at = t.now; src; dst; component; tag; reason = "destination crashed" });
+        (Drop { at = t.now; src; dst; msg; component; tag; reason = "destination crashed" });
       Stats.on_drop t.stats ~component ~tag
     end
   end
@@ -236,8 +292,9 @@ let dispatch t (envelope : Payload.envelope) =
            component (Pid.to_string dst))
     | Some h ->
       if not (Pid.equal src dst) then begin
-        Trace.record t.trace (Deliver { at = t.now; src; dst; component; tag });
-        Stats.on_deliver t.stats ~component ~tag
+        Trace.record t.trace (Deliver { at = t.now; src; dst; msg; component; tag });
+        Stats.on_deliver t.stats ~component ~tag;
+        Obs.Registry.observe t.m_delivery_latency (t.now - sent_at)
       end;
       h ~src payload
   end

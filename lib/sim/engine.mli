@@ -30,6 +30,15 @@ val n : t -> int
 val now : t -> Sim_time.t
 val trace : t -> Trace.t
 val stats : t -> Stats.t
+
+val obs : t -> Obs.Registry.t
+(** The engine's metric registry.  The engine itself feeds
+    [engine.delivery_latency] (per non-local delivery),
+    [engine.span_duration] (on {!end_span}) and the
+    [engine.queue_depth_high_water] / [engine.timer_residency_high_water]
+    gauges; components register their own metrics here — with literal
+    names (lint rule R6). *)
+
 val link_description : t -> string
 
 (** {1 Process status} *)
@@ -104,6 +113,26 @@ val at : t -> Sim_time.t -> (unit -> unit) -> unit
 
 val note : t -> Pid.t -> tag:string -> string -> unit
 (** Append a note event to the trace. *)
+
+(** {1 Spans}
+
+    A span brackets a protocol phase — a consensus round, a leadership
+    epoch, a suspicion episode — between a [Span_begin] and a [Span_end]
+    trace event sharing an engine-allocated span id.  Exports render spans
+    as slices on the owning process's track; {!end_span} also feeds the
+    span's duration to the [engine.span_duration] histogram. *)
+
+type span
+
+val begin_span : t -> Pid.t -> component:string -> name:string -> span
+(** Open a span at [p] now.  [name] must be a string literal (lint rule
+    R6): span names are a static vocabulary, never data. *)
+
+val end_span : t -> span -> unit
+(** Close the span at the current instant.  Idempotent — closing twice is
+    a no-op, so protocols may close eagerly on decide {i and} defensively
+    on round exit.  Spans left open at the end of a run (e.g. a suspicion
+    of a genuinely crashed process) simply never get a [Span_end]. *)
 
 val record_fd_view :
   t -> component:string -> Pid.t -> suspected:Pid.Set.t -> trusted:Pid.t option -> unit

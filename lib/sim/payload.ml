@@ -11,6 +11,7 @@ type envelope = {
   tag : string;
   payload : t;
   sent_at : Sim_time.t;
+  msg : int;  (** Engine-allocated message id shared by the Send/Deliver/Drop trace events; [-1] for local self-sends, which are not traced. *)
 }
 
 let pp_envelope ppf e =

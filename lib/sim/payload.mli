@@ -17,6 +17,10 @@ type envelope = {
   tag : string;        (** Human-readable message kind, for traces and stats. *)
   payload : t;
   sent_at : Sim_time.t;
+  msg : int;
+      (** Engine-allocated message id shared by the Send/Deliver/Drop trace
+          events of this message; [-1] for local self-sends, which are not
+          traced. *)
 }
 
 val pp_envelope : Format.formatter -> envelope -> unit

@@ -1,0 +1,58 @@
+type violation =
+  | Nonmonotone_seq of { seq : int; prev : int }
+  | Clock_regression of { pid : Sim.Pid.t; seq : int; lc : int; prev_lc : int }
+  | Causality_violation of { msg : int; send_lc : int; deliver_lc : int }
+  | Unmatched_deliver of { msg : int; seq : int }
+
+let pp_violation ppf = function
+  | Nonmonotone_seq { seq; prev } ->
+    Format.fprintf ppf "seq %d follows seq %d (not dense/increasing)" seq prev
+  | Clock_regression { pid; seq; lc; prev_lc } ->
+    Format.fprintf ppf "clock at %a regressed: #%d has @%d after @%d" Sim.Pid.pp pid seq lc
+      prev_lc
+  | Causality_violation { msg; send_lc; deliver_lc } ->
+    Format.fprintf ppf "msg %d: send @%d not before deliver @%d" msg send_lc deliver_lc
+  | Unmatched_deliver { msg; seq } ->
+    Format.fprintf ppf "deliver #%d references msg %d with no prior send" seq msg
+
+type state = {
+  mutable prev_seq : int;
+  last_lc : (Sim.Pid.t, int) Hashtbl.t;
+  send_lc : (int, int) Hashtbl.t;  (** Message id -> the send's Lamport stamp. *)
+  mutable rev_violations : violation list;
+}
+
+let flag st v = st.rev_violations <- v :: st.rev_violations
+
+let scan st (e : Sim.Trace.event) =
+  if e.seq <> st.prev_seq + 1 then flag st (Nonmonotone_seq { seq = e.seq; prev = st.prev_seq });
+  st.prev_seq <- e.seq;
+  (match Sim.Trace.pid_of e.body with
+  | None -> ()
+  | Some pid ->
+    (match Hashtbl.find_opt st.last_lc pid with
+    | Some prev_lc when e.lc <= prev_lc ->
+      flag st (Clock_regression { pid; seq = e.seq; lc = e.lc; prev_lc })
+    | Some _ | None -> ());
+    Hashtbl.replace st.last_lc pid e.lc);
+  match e.body with
+  | Sim.Trace.Send { msg; _ } -> Hashtbl.replace st.send_lc msg e.lc
+  | Sim.Trace.Deliver { msg; _ } -> (
+    match Hashtbl.find_opt st.send_lc msg with
+    | None -> flag st (Unmatched_deliver { msg; seq = e.seq })
+    | Some send_lc ->
+      if send_lc >= e.lc then flag st (Causality_violation { msg; send_lc; deliver_lc = e.lc }))
+  | _ -> ()
+
+let fresh () =
+  { prev_seq = -1; last_lc = Hashtbl.create 16; send_lc = Hashtbl.create 64; rev_violations = [] }
+
+let check trace =
+  let st = fresh () in
+  Sim.Trace.iter trace (scan st);
+  List.rev st.rev_violations
+
+let check_events events =
+  let st = fresh () in
+  List.iter (scan st) events;
+  List.rev st.rev_violations

@@ -8,15 +8,14 @@ end
 module Pair_set = Set.Make (Pair)
 
 let active_links trace ~components ~from_t ~to_t =
-  List.fold_left
-    (fun acc event ->
-      match event with
+  let acc = ref Pair_set.empty in
+  Sim.Trace.iter trace (fun e ->
+      match e.Sim.Trace.body with
       | Sim.Trace.Send { at; src; dst; component; _ }
         when at >= from_t && at <= to_t && List.mem component components ->
-        Pair_set.add (src, dst) acc
-      | _ -> acc)
-    Pair_set.empty (Sim.Trace.events trace)
-  |> Pair_set.elements
+        acc := Pair_set.add (src, dst) !acc
+      | _ -> ());
+  Pair_set.elements !acc
 
 let star_of ~leader ~n =
   List.concat_map

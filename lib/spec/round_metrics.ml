@@ -13,13 +13,13 @@ let base_of_tag tag =
   | Some _ | None -> tag
 
 let fold_sends trace ~component f init =
-  List.fold_left
-    (fun acc event ->
-      match event with
+  let acc = ref init in
+  Sim.Trace.iter trace (fun e ->
+      match e.Sim.Trace.body with
       | Sim.Trace.Send { component = c; tag; _ } when String.equal c component -> (
-        match round_of_tag tag with None -> acc | Some r -> f acc r tag)
-      | _ -> acc)
-    init (Sim.Trace.events trace)
+        match round_of_tag tag with None -> () | Some r -> acc := f !acc r tag)
+      | _ -> ());
+  !acc
 
 let sends_by_round trace ~component =
   let table = Hashtbl.create 16 in

@@ -89,15 +89,12 @@ let render_decisions ?(width = default_width) trace ~n ~horizon =
   List.iter
     (fun p ->
       let proposed_at =
-        List.filter_map
-          (fun event ->
-            match event with
+        Seq.find_map
+          (fun (e : Sim.Trace.event) ->
+            match e.body with
             | Sim.Trace.Propose { at; pid; _ } when Sim.Pid.equal pid p -> Some at
             | _ -> None)
-          (Sim.Trace.events trace)
-        |> function
-        | [] -> None
-        | at :: _ -> Some at
+          (Sim.Trace.to_seq trace)
       in
       let decided_at =
         List.find_map

@@ -114,9 +114,8 @@ let liveness_law protocol =
    the trace. *)
 let proposers_per_round trace =
   let table = Hashtbl.create 32 in
-  List.iter
-    (fun event ->
-      match event with
+  Sim.Trace.iter trace (fun e ->
+      match e.Sim.Trace.body with
       | Sim.Trace.Send { src; component; tag; _ }
         when String.equal component Ecfd.Ec_consensus.component -> (
         match Spec.Round_metrics.round_of_tag tag with
@@ -124,8 +123,7 @@ let proposers_per_round trace =
           let senders = Option.value ~default:[] (Hashtbl.find_opt table round) in
           if not (List.mem src senders) then Hashtbl.replace table round (src :: senders)
         | _ -> ())
-      | _ -> ())
-    (Sim.Trace.events trace);
+      | _ -> ());
   Hashtbl.fold (fun round senders acc -> (round, List.length senders) :: acc) table []
 
 let lemma1_law =

@@ -114,7 +114,7 @@ let test_sends_by_round_sorted () =
     (fun r ->
       Sim.Trace.record trace
         (Sim.Trace.Send
-           { at = 1; src = 0; dst = 1; component = "c"; tag = "t.r" ^ string_of_int r }))
+           { at = 1; src = 0; dst = 1; msg = 0; component = "c"; tag = "t.r" ^ string_of_int r }))
     [ 5; 2; 9; 1; 1; 2 ];
   Alcotest.(check (list (pair int int)))
     "rounds ascending regardless of event order"

@@ -114,6 +114,19 @@ let determinism_tests =
           "E4 produced output" true
           (String.length sequential > 0);
         Alcotest.(check string) "identical output" sequential (render 4));
+    tc "E4 trace exports are byte-identical at 1 and 4 domains" (fun () ->
+        (* The CI artifact contract: the canonical-run exports are a pure
+           function of (seed, config), so rendering them through the pool
+           at different domain counts must give the same bytes. *)
+        let export domains =
+          Exec.Pool.with_domains domains Experiments.e4_trace_exports
+        in
+        let chrome1, jsonl1 = export 1 in
+        let chrome4, jsonl4 = export 4 in
+        Alcotest.(check bool) "chrome export non-empty" true (String.length chrome1 > 0);
+        Alcotest.(check bool) "jsonl export non-empty" true (String.length jsonl1 > 0);
+        Alcotest.(check string) "chrome identical" chrome1 chrome4;
+        Alcotest.(check string) "jsonl identical" jsonl1 jsonl4);
   ]
 
 let suites =

@@ -1,5 +1,5 @@
 (* In-process coverage of the ecfd-lint analyzer (tools/lint): each rule
-   R1-R5 is demonstrated on a seeded-violation fixture under
+   R1-R6 is demonstrated on a seeded-violation fixture under
    lint_fixtures/ with exact expected findings, so disabling or breaking
    any single rule fails its test.  Suppression and the mandatory reason
    string are covered the same way. *)
@@ -45,6 +45,14 @@ let test_r4_payload =
 
 let test_r5_mli = check_findings [ fixture "mli_case" ] ~expected:[ ("R5", 1) ]
 
+let test_r6_obsname =
+  (* Computed ~name arguments to the Obs registration points and to
+     Engine.begin_span; the literal sites and the [@lint.allow obsname]
+     site at the bottom of the fixture stay silent. *)
+  check_findings
+    [ fixture "obsname_bad.ml" ]
+    ~expected:[ ("R6", 2); ("R6", 3); ("R6", 6); ("R6", 8) ]
+
 let test_suppressed = check_findings [ fixture "allowed.ml" ] ~expected:[]
 
 let test_missing_reason =
@@ -53,12 +61,12 @@ let test_missing_reason =
 let test_whole_directory () =
   (* All fixtures at once: the per-file expectations above, via the same
      directory walk the dune @lint alias uses. *)
-  Alcotest.(check int) "total findings over lint_fixtures/" 22
+  Alcotest.(check int) "total findings over lint_fixtures/" 26
     (List.length (run [ "lint_fixtures" ]))
 
 let test_registry () =
   let ids = List.map (fun (r : Lint_core.Rules.t) -> r.id) Lint_core.Registry.all in
-  Alcotest.(check (list string)) "rule ids" [ "R1"; "R2"; "R3"; "R4"; "R5" ] ids;
+  Alcotest.(check (list string)) "rule ids" [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6" ] ids;
   let keys = List.map (fun (r : Lint_core.Rules.t) -> r.key) Lint_core.Registry.all in
   Alcotest.(check (list string))
     "suppression keys are unique" keys
@@ -78,11 +86,13 @@ let suites =
         Alcotest.test_case "R3: polymorphic-compare fixture" `Quick test_r3_polycmp;
         Alcotest.test_case "R4: payload-hygiene fixture" `Quick test_r4_payload;
         Alcotest.test_case "R5: missing-mli fixture" `Quick test_r5_mli;
+        Alcotest.test_case "R6: computed-observability-name fixture" `Quick
+          test_r6_obsname;
         Alcotest.test_case "[@lint.allow] suppresses with a reason" `Quick test_suppressed;
         Alcotest.test_case "[@lint.allow] without a reason is reported" `Quick
           test_missing_reason;
         Alcotest.test_case "directory walk finds every seeded violation" `Quick
           test_whole_directory;
-        Alcotest.test_case "registry lists R1-R5 with unique keys" `Quick test_registry;
+        Alcotest.test_case "registry lists R1-R6 with unique keys" `Quick test_registry;
       ] );
   ]

@@ -1,0 +1,201 @@
+(* The observability layer: Obs.Registry semantics, the two trace
+   exporters against checked-in golden files (byte-exact, seeded run),
+   and the ecfd-trace query core (ancestry, diff, filter, schema) on a
+   crafted trace. *)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let registry_tests =
+  [
+    tc "counter: incr and add aggregate" (fun () ->
+        let r = Obs.Registry.create () in
+        let c = Obs.Registry.counter r ~name:"x.count" in
+        Obs.Registry.incr c;
+        Obs.Registry.add c 4;
+        Alcotest.(check bool)
+          "value 5" true
+          (Obs.Registry.snapshot r = [ ("x.count", Obs.Registry.Counter 5) ]));
+    tc "gauge: set overwrites, set_max keeps the high-water" (fun () ->
+        let r = Obs.Registry.create () in
+        let g = Obs.Registry.gauge r ~name:"x.level" in
+        Obs.Registry.set g 7;
+        Obs.Registry.set_max g 3;
+        Alcotest.(check bool)
+          "set_max 3 after set 7 keeps 7" true
+          (Obs.Registry.snapshot r = [ ("x.level", Obs.Registry.Gauge 7) ]);
+        Obs.Registry.set g 2;
+        Alcotest.(check bool)
+          "set 2 overwrites" true
+          (Obs.Registry.snapshot r = [ ("x.level", Obs.Registry.Gauge 2) ]));
+    tc "histogram: bucketing, overflow, count/sum/max" (fun () ->
+        let r = Obs.Registry.create () in
+        let h = Obs.Registry.histogram r ~name:"x.lat" ~buckets:[ 10; 100 ] in
+        List.iter (Obs.Registry.observe h) [ 0; 10; 11; 250 ];
+        match Obs.Registry.snapshot r with
+        | [ ("x.lat", Obs.Registry.Histogram v) ] ->
+          Alcotest.(check (list int)) "bounds" [ 10; 100 ] v.buckets;
+          Alcotest.(check (list int)) "per-bucket + overflow" [ 2; 1; 1 ] v.counts;
+          Alcotest.(check int) "count" 4 v.count;
+          Alcotest.(check int) "sum" 271 v.sum;
+          Alcotest.(check int) "max" 250 v.max_value
+        | _ -> Alcotest.fail "expected exactly one histogram");
+    tc "registration is idempotent and aggregating" (fun () ->
+        let r = Obs.Registry.create () in
+        Obs.Registry.incr (Obs.Registry.counter r ~name:"x.count");
+        Obs.Registry.incr (Obs.Registry.counter r ~name:"x.count");
+        Alcotest.(check bool)
+          "both increments on one metric" true
+          (Obs.Registry.snapshot r = [ ("x.count", Obs.Registry.Counter 2) ]));
+    tc "re-registering under a different kind is refused" (fun () ->
+        let r = Obs.Registry.create () in
+        ignore (Obs.Registry.counter r ~name:"x.count");
+        Alcotest.check_raises "kind mismatch"
+          (Invalid_argument
+             "Obs.Registry: \"x.count\" is already registered as a counter, not a gauge")
+          (fun () -> ignore (Obs.Registry.gauge r ~name:"x.count")));
+    tc "snapshot is in name order, not insertion order" (fun () ->
+        let r = Obs.Registry.create () in
+        ignore (Obs.Registry.counter r ~name:"z.last");
+        ignore (Obs.Registry.counter r ~name:"a.first");
+        ignore (Obs.Registry.counter r ~name:"m.middle");
+        Alcotest.(check (list string))
+          "sorted names"
+          [ "a.first"; "m.middle"; "z.last" ]
+          (List.map fst (Obs.Registry.snapshot r)));
+    tc "json_of_snapshot renders every kind deterministically" (fun () ->
+        let r = Obs.Registry.create () in
+        Obs.Registry.add (Obs.Registry.counter r ~name:"c") 3;
+        Obs.Registry.set (Obs.Registry.gauge r ~name:"g") 9;
+        Obs.Registry.observe (Obs.Registry.histogram r ~name:"h" ~buckets:[ 2 ]) 1;
+        Alcotest.(check string)
+          "exact JSON"
+          "{\"metrics\":[{\"name\":\"c\",\"kind\":\"counter\",\"value\":3},{\"name\":\"g\",\"kind\":\"gauge\",\"value\":9},{\"name\":\"h\",\"kind\":\"histogram\",\"buckets\":[2],\"counts\":[1,0],\"count\":1,\"sum\":1,\"max\":1}]}"
+          (Obs.Registry.json_of_snapshot (Obs.Registry.snapshot r)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Golden exports                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The exact run behind test/golden/trace_small.* — regenerate with
+     ecfd trace -p ec -d scripted-stable -n 3 --seed 2 --horizon 200 -f FMT
+   after any intentional exporter or trace change, and review the diff. *)
+let golden_trace () =
+  let r =
+    Scenario.run_consensus
+      ~net:{ (Scenario.chaotic_net ~seed:2 ~gst:0 ()) with delta = 8 }
+      ~crashes:(Sim.Fault.crashes []) ~horizon:200 ~n:3
+      ~detector:(Scenario.Scripted_stable 0)
+      ~protocol:(Scenario.Ec Ecfd.Ec_consensus.default_params) ()
+  in
+  r.Scenario.trace
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let golden_tests =
+  [
+    tc "JSONL export matches the golden file byte-for-byte" (fun () ->
+        Alcotest.(check string)
+          "golden/trace_small.jsonl"
+          (read_file "golden/trace_small.jsonl")
+          (Sim.Trace_export.jsonl_string (golden_trace ())));
+    tc "Chrome export matches the golden file byte-for-byte" (fun () ->
+        Alcotest.(check string)
+          "golden/trace_small.chrome.json"
+          (read_file "golden/trace_small.chrome.json")
+          (Sim.Trace_export.chrome_string (golden_trace ())));
+    tc "golden JSONL parses line-by-line in the query core" (fun () ->
+        let events = Tracequery_core.Trace_file.load "golden/trace_small.jsonl" in
+        Alcotest.(check bool) "non-empty" true (events <> []);
+        List.iteri
+          (fun i (e : Tracequery_core.Trace_file.event) ->
+            Alcotest.(check int) "seq is dense" i e.seq)
+          events);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Query core on a crafted trace                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Two processes exchange a request/ack around a decide, with an
+   unrelated note at p3 that must stay out of every cone. *)
+let crafted_lines =
+  [
+    {|{"seq":0,"lc":1,"type":"propose","at":0,"pid":0,"component":"consensus.ec","value":7}|};
+    {|{"seq":1,"lc":2,"type":"send","at":1,"src":0,"dst":1,"msg":0,"component":"consensus.ec","tag":"round1"}|};
+    {|{"seq":2,"lc":1,"type":"note","at":1,"pid":2,"component":"fd.x","detail":"noise"}|};
+    {|{"seq":3,"lc":3,"type":"deliver","at":3,"src":0,"dst":1,"msg":0,"component":"consensus.ec","tag":"round1"}|};
+    {|{"seq":4,"lc":4,"type":"send","at":4,"src":1,"dst":0,"msg":1,"component":"consensus.ec","tag":"ack"}|};
+    {|{"seq":5,"lc":5,"type":"deliver","at":6,"src":1,"dst":0,"msg":1,"component":"consensus.ec","tag":"ack"}|};
+    {|{"seq":6,"lc":6,"type":"decide","at":7,"pid":0,"component":"consensus.ec","value":7,"round":1}|};
+  ]
+
+let crafted () =
+  List.mapi
+    (fun i line -> Tracequery_core.Trace_file.event_of_line ~lineno:(i + 1) line)
+    crafted_lines
+
+let seqs events = List.map (fun (e : Tracequery_core.Trace_file.event) -> e.seq) events
+
+let query_tests =
+  [
+    tc "ancestry follows program order and message edges, not noise" (fun () ->
+        let events = crafted () in
+        Alcotest.(check (list int))
+          "cone of the decide"
+          [ 0; 1; 3; 4; 5; 6 ]
+          (seqs (Tracequery_core.Query.ancestry events ~seq:6)));
+    tc "ancestry of a mid-trace event stops at its past" (fun () ->
+        Alcotest.(check (list int))
+          "cone of the first deliver"
+          [ 0; 1; 3 ]
+          (seqs (Tracequery_core.Query.ancestry (crafted ()) ~seq:3)));
+    tc "filter by pid matches link endpoints; by time window" (fun () ->
+        let events = crafted () in
+        Alcotest.(check (list int))
+          "everything involving p2"
+          [ 1; 3; 4; 5 ]
+          (seqs (Tracequery_core.Query.filter ~pid:1 events));
+        Alcotest.(check (list int))
+          "t in [3,6]"
+          [ 3; 4; 5 ]
+          (seqs (Tracequery_core.Query.filter ~from_t:3 ~to_t:6 events)));
+    tc "diff: identical, divergent line, and length mismatch" (fun () ->
+        let open Tracequery_core.Query in
+        Alcotest.(check bool)
+          "identical" true
+          (diff_lines crafted_lines crafted_lines = None);
+        (match diff_lines crafted_lines (List.rev crafted_lines) with
+        | Some { line = 1; _ } -> ()
+        | _ -> Alcotest.fail "expected divergence at line 1");
+        match diff_lines crafted_lines (crafted_lines @ [ "{}" ]) with
+        | Some { line = 8; left = None; right = Some "{}" } -> ()
+        | _ -> Alcotest.fail "expected the right file to run long at line 8");
+    tc "schema check flags missing fields and type mismatches" (fun () ->
+        let schema =
+          Tracequery_core.Json_min.parse
+            {|{"type":"object","required":["seq"],"properties":{"seq":{"type":"integer","minimum":0}}}|}
+        in
+        let check s =
+          Tracequery_core.Schema.check ~schema (Tracequery_core.Json_min.parse s)
+        in
+        Alcotest.(check int) "valid line" 0 (List.length (check {|{"seq":3}|}));
+        Alcotest.(check bool) "missing seq flagged" true (check {|{"lc":1}|} <> []);
+        Alcotest.(check bool) "wrong type flagged" true (check {|{"seq":"x"}|} <> []);
+        Alcotest.(check bool) "negative flagged" true (check {|{"seq":-1}|} <> []));
+  ]
+
+let suites =
+  [
+    ("obs.registry", registry_tests);
+    ("obs.golden_exports", golden_tests);
+    ("obs.tracequery", query_tests);
+  ]

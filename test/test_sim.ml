@@ -461,7 +461,8 @@ let engine_tests =
         Sim.Engine.run_until e 20;
         let drops =
           List.filter
-            (function Sim.Trace.Drop _ -> true | _ -> false)
+            (fun (ev : Sim.Trace.event) ->
+              match ev.body with Sim.Trace.Drop _ -> true | _ -> false)
             (Sim.Trace.events (Sim.Engine.trace e))
         in
         Alcotest.(check int) "one drop" 1 (List.length drops));
@@ -672,8 +673,8 @@ let trace_tests =
          with End_of_file -> close_in ic);
         Sys.remove file;
         Alcotest.(check int) "two lines" 2 (List.length !lines);
-        Alcotest.(check bool) "crash line" true
-          (List.exists (fun l -> l = "[t=3] crash p2") !lines));
+        Alcotest.(check bool) "crash line carries seq/lc stamp" true
+          (List.exists (fun l -> l = "#0 @1 [t=3] crash p2") !lines));
     tc "accessors filter and order events" (fun () ->
         let t = Sim.Trace.create () in
         Sim.Trace.record t (Sim.Trace.Propose { at = 0; pid = 0; value = 7 });

@@ -234,7 +234,7 @@ let consensus_props_tests =
 (* Round_metrics                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let send ~at ~tag = Sim.Trace.Send { at; src = 0; dst = 1; component = "c"; tag }
+let send ~at ~tag = Sim.Trace.Send { at; src = 0; dst = 1; msg = 0; component = "c"; tag }
 
 let round_metrics_tests =
   [
@@ -250,7 +250,7 @@ let round_metrics_tests =
               send ~at:1 ~tag:"est.r1";
               send ~at:2 ~tag:"ack.r1";
               send ~at:3 ~tag:"est.r2";
-              Sim.Trace.Send { at = 4; src = 0; dst = 1; component = "other"; tag = "est.r1" };
+              Sim.Trace.Send { at = 4; src = 0; dst = 1; msg = 0; component = "other"; tag = "est.r1" };
             ]
         in
         Alcotest.(check (list (pair int int))) "by round" [ (1, 3); (2, 1) ]
@@ -325,7 +325,7 @@ let timeline_tests =
 (* ------------------------------------------------------------------ *)
 
 let send_on ~at ~src ~dst ~component =
-  Sim.Trace.Send { at; src; dst; component; tag = "x" }
+  Sim.Trace.Send { at; src; dst; msg = 0; component; tag = "x" }
 
 let link_metrics_tests =
   [
@@ -350,6 +350,88 @@ let link_metrics_tests =
           star);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Clock_props                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let n_violations = List.length
+
+let clock_props_tests =
+  [
+    tc "recorded traces are causally consistent" (fun () ->
+        let t = Sim.Trace.create () in
+        Sim.Trace.record t (Sim.Trace.Propose { at = 0; pid = 0; value = 7 });
+        Sim.Trace.record t
+          (Sim.Trace.Send { at = 1; src = 0; dst = 1; msg = 5; component = "c"; tag = "x" });
+        Sim.Trace.record t
+          (Sim.Trace.Deliver { at = 3; src = 0; dst = 1; msg = 5; component = "c"; tag = "x" });
+        Sim.Trace.record t (Sim.Trace.Crash { at = 4; pid = 1 });
+        Alcotest.(check int) "clean" 0 (n_violations (Spec.Clock_props.check t)));
+    tc "a full consensus run is causally consistent" (fun () ->
+        let r =
+          Scenario.run_consensus ~net:{ Scenario.default_net with seed = 2 } ~n:5
+            ~detector:(Scenario.Scripted_stable 0)
+            ~protocol:(Scenario.Ec Ecfd.Ec_consensus.default_params) ()
+        in
+        Alcotest.(check (list string)) "clean" []
+          (List.map
+             (Format.asprintf "%a" Spec.Clock_props.pp_violation)
+             (Spec.Clock_props.check r.trace)));
+    tc "deliver stamped at or before its send is flagged" (fun () ->
+        let events =
+          [
+            {
+              Sim.Trace.seq = 0;
+              lc = 4;
+              body = Sim.Trace.Send { at = 1; src = 0; dst = 1; msg = 9; component = "c"; tag = "x" };
+            };
+            {
+              Sim.Trace.seq = 1;
+              lc = 4;
+              body =
+                Sim.Trace.Deliver { at = 2; src = 0; dst = 1; msg = 9; component = "c"; tag = "x" };
+            };
+          ]
+        in
+        match Spec.Clock_props.check_events events with
+        | [ Spec.Clock_props.Causality_violation { msg = 9; send_lc = 4; deliver_lc = 4 } ] -> ()
+        | vs ->
+          Alcotest.failf "expected one causality violation, got: %s"
+            (String.concat "; "
+               (List.map (Format.asprintf "%a" Spec.Clock_props.pp_violation) vs)));
+    tc "per-process clock regression is flagged" (fun () ->
+        let events =
+          [
+            { Sim.Trace.seq = 0; lc = 5; body = Sim.Trace.Crash { at = 1; pid = 2 } };
+            { Sim.Trace.seq = 1; lc = 3; body = Sim.Trace.Propose { at = 2; pid = 2; value = 1 } };
+          ]
+        in
+        match Spec.Clock_props.check_events events with
+        | [ Spec.Clock_props.Clock_regression { pid = 2; seq = 1; lc = 3; prev_lc = 5 } ] -> ()
+        | vs -> Alcotest.failf "expected one regression, got %d violations" (List.length vs));
+    tc "unmatched deliver and broken seq are flagged" (fun () ->
+        let events =
+          [
+            {
+              Sim.Trace.seq = 0;
+              lc = 1;
+              body =
+                Sim.Trace.Deliver { at = 1; src = 0; dst = 1; msg = 7; component = "c"; tag = "x" };
+            };
+            { Sim.Trace.seq = 2; lc = 2; body = Sim.Trace.Crash { at = 2; pid = 0 } };
+          ]
+        in
+        let vs = Spec.Clock_props.check_events events in
+        Alcotest.(check bool) "unmatched deliver flagged" true
+          (List.exists
+             (function Spec.Clock_props.Unmatched_deliver { msg = 7; _ } -> true | _ -> false)
+             vs);
+        Alcotest.(check bool) "seq gap flagged" true
+          (List.exists
+             (function Spec.Clock_props.Nonmonotone_seq { seq = 2; prev = 0 } -> true | _ -> false)
+             vs));
+  ]
+
 let suites =
   [
     ("spec.eventually", eventually_tests);
@@ -358,4 +440,5 @@ let suites =
     ("spec.fd_props", fd_props_tests);
     ("spec.consensus_props", consensus_props_tests);
     ("spec.round_metrics", round_metrics_tests);
+    ("spec.clock_props", clock_props_tests);
   ]

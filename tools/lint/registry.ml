@@ -7,4 +7,5 @@ let all : Rules.t list =
     Rule_polycmp.rule;  (* R3 *)
     Rule_payload.rule;  (* R4 *)
     Rule_mli.rule;  (* R5 *)
+    Rule_obsname.rule;  (* R6 *)
   ]

@@ -1,0 +1,173 @@
+(* ecfd-trace: query tool over JSONL trace exports.
+
+     ecfd-trace filter TRACE.jsonl --component consensus.ec --pid 0
+     ecfd-trace ancestry TRACE.jsonl            # cone of the first decide
+     ecfd-trace ancestry TRACE.jsonl --seq 123
+     ecfd-trace diff A.jsonl B.jsonl
+     ecfd-trace validate FILE --schema S.schema.json [--jsonl]
+*)
+
+open Cmdliner
+open Tracequery_core
+
+let file_arg ~n ~doc = Arg.(required & pos n (some file) None & info [] ~docv:"FILE" ~doc)
+
+let load_or_die path =
+  try Trace_file.load path
+  with Trace_file.Bad_trace msg ->
+    Printf.eprintf "ecfd-trace: %s: %s\n" path msg;
+    exit 2
+
+(* --- filter --- *)
+
+let filter_cmd =
+  let run path component pid from_t to_t pretty =
+    let events = Query.filter ?component ?pid ?from_t ?to_t (load_or_die path) in
+    List.iter
+      (fun (e : Trace_file.event) ->
+        print_string (if pretty then Trace_file.render e ^ "\n" else e.raw ^ "\n"))
+      events
+  in
+  let doc = "Select events by component, process, and time window (JSONL out)." in
+  Cmd.v
+    (Cmd.info "filter" ~doc)
+    Term.(
+      const run
+      $ file_arg ~n:0 ~doc:"JSONL trace export."
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "component"; "c" ] ~docv:"NAME" ~doc:"Keep only this component's events.")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "pid" ] ~docv:"P"
+              ~doc:"Keep events involving process $(docv) (0-based; link events match on either \
+                    endpoint).")
+      $ Arg.(
+          value & opt (some int) None & info [ "from" ] ~docv:"T" ~doc:"Discard events before T.")
+      $ Arg.(
+          value & opt (some int) None & info [ "to" ] ~docv:"T" ~doc:"Discard events after T.")
+      $ Arg.(
+          value & flag & info [ "pretty" ] ~doc:"Human-readable lines instead of JSONL."))
+
+(* --- ancestry --- *)
+
+let ancestry_cmd =
+  let run path seq pid jsonl =
+    let events = load_or_die path in
+    let target =
+      match seq with
+      | Some s -> (
+        match Query.find_seq ~seq:s events with
+        | Some e -> e
+        | None ->
+          Printf.eprintf "ecfd-trace: no event with seq %d\n" s;
+          exit 2)
+      | None -> (
+        match Query.first ~typ:"decide" ?pid events with
+        | Some e -> e
+        | None ->
+          Printf.eprintf "ecfd-trace: no decide event in %s\n" path;
+          exit 2)
+    in
+    let cone = Query.ancestry events ~seq:target.Trace_file.seq in
+    if not jsonl then
+      Printf.printf "happens-before cone of %s (%d of %d events):\n"
+        (Trace_file.render target) (List.length cone) (List.length events);
+    List.iter
+      (fun (e : Trace_file.event) ->
+        print_string (if jsonl then e.raw ^ "\n" else "  " ^ Trace_file.render e ^ "\n"))
+      cone
+  in
+  let doc =
+    "Print the happens-before cone of an event (default: the first decide)."
+  in
+  Cmd.v
+    (Cmd.info "ancestry" ~doc)
+    Term.(
+      const run
+      $ file_arg ~n:0 ~doc:"JSONL trace export."
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "seq" ] ~docv:"N" ~doc:"Target event by sequence number.")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "pid" ] ~docv:"P" ~doc:"With no --seq: first decide at this process.")
+      $ Arg.(value & flag & info [ "jsonl" ] ~doc:"Emit the cone as JSONL, no header."))
+
+(* --- diff --- *)
+
+let diff_cmd =
+  let run a b =
+    match Query.diff_lines (Trace_file.read_lines a) (Trace_file.read_lines b) with
+    | None -> Printf.printf "identical (%s = %s)\n" a b
+    | Some { line; left; right } ->
+      Printf.printf "traces diverge at line %d:\n" line;
+      Printf.printf "  %s: %s\n" a (Option.value left ~default:"<end of file>");
+      Printf.printf "  %s: %s\n" b (Option.value right ~default:"<end of file>");
+      exit 1
+  in
+  let doc = "Compare two exports line by line; exit 1 at the first divergence." in
+  Cmd.v
+    (Cmd.info "diff" ~doc)
+    Term.(
+      const run $ file_arg ~n:0 ~doc:"First export." $ file_arg ~n:1 ~doc:"Second export.")
+
+(* --- validate --- *)
+
+let validate_cmd =
+  let run path schema_path jsonl =
+    let read_all p =
+      let ic = open_in_bin p in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let parse_or_die what text =
+      try Json_min.parse text
+      with Json_min.Parse_error msg ->
+        Printf.eprintf "ecfd-trace: %s: %s\n" what msg;
+        exit 2
+    in
+    let schema = parse_or_die schema_path (read_all schema_path) in
+    let failures = ref 0 in
+    let check what value =
+      List.iter
+        (fun e ->
+          incr failures;
+          Printf.printf "%s: %s\n" what (Format.asprintf "%a" Schema.pp_error e))
+        (Schema.check ~schema value)
+    in
+    if jsonl then
+      List.iteri
+        (fun i line ->
+          if String.trim line <> "" then
+            check (Printf.sprintf "%s:%d" path (i + 1)) (parse_or_die path line))
+        (Trace_file.read_lines path)
+    else check path (parse_or_die path (read_all path));
+    if !failures = 0 then Printf.printf "%s: valid\n" path else exit 1
+  in
+  let doc = "Validate an export against a JSON schema (whole file, or per line with --jsonl)." in
+  Cmd.v
+    (Cmd.info "validate" ~doc)
+    Term.(
+      const run
+      $ file_arg ~n:0 ~doc:"File to validate."
+      $ Arg.(
+          required
+          & opt (some file) None
+          & info [ "schema" ] ~docv:"SCHEMA" ~doc:"JSON schema file (docs/schemas/).")
+      $ Arg.(
+          value & flag
+          & info [ "jsonl" ] ~doc:"Validate every line as its own document (JSONL exports)."))
+
+let main =
+  let doc = "Query, compare and validate ecfd trace exports" in
+  Cmd.group
+    (Cmd.info "ecfd-trace" ~doc ~version:"1.0.0")
+    [ filter_cmd; ancestry_cmd; diff_cmd; validate_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,86 @@
+(* Queries over a loaded JSONL trace: filtering, the happens-before cone
+   of an event, and line-level diffing of two exports. *)
+
+let matches ?component ?pid ?from_t ?to_t (e : Trace_file.event) =
+  (match component with None -> true | Some c -> String.equal e.component c)
+  && (match pid with
+     | None -> true
+     | Some p -> (
+       (* An event "involves" a process if it happens there, or if it is a
+          link event with that endpoint. *)
+       match e.typ with
+       | "send" | "deliver" | "drop" -> e.src = p || e.dst = p
+       | _ -> e.pid = Some p))
+  && (match from_t with None -> true | Some t -> e.at >= t)
+  && match to_t with None -> true | Some t -> e.at <= t
+
+let filter ?component ?pid ?from_t ?to_t events =
+  List.filter (matches ?component ?pid ?from_t ?to_t) events
+
+let first ~typ ?pid events =
+  List.find_opt
+    (fun (e : Trace_file.event) ->
+      String.equal e.typ typ && match pid with None -> true | Some p -> e.pid = Some p)
+    events
+
+let find_seq ~seq events = List.find_opt (fun (e : Trace_file.event) -> e.seq = seq) events
+
+(* The happens-before cone of a target event: walk immediate causal
+   predecessors backwards to a fixpoint.  Immediate predecessors of e:
+   - the latest earlier event at the same process (program order);
+   - for a deliver, the matching send (same message id).
+   Everything reachable is in the cone; the result includes the target and
+   comes back in seq order. *)
+let ancestry events ~seq:target_seq =
+  let by_seq = Hashtbl.create 256 in
+  List.iter (fun (e : Trace_file.event) -> Hashtbl.replace by_seq e.seq e) events;
+  (* prev.(seq of e) = seq of the previous event at e's process. *)
+  let prev_at_pid = Hashtbl.create 256 in
+  let send_of_msg = Hashtbl.create 256 in
+  let last_at_pid = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Trace_file.event) ->
+      (match e.pid with
+      | Some p ->
+        (match Hashtbl.find_opt last_at_pid p with
+        | Some prev -> Hashtbl.replace prev_at_pid e.seq prev
+        | None -> ());
+        Hashtbl.replace last_at_pid p e.seq
+      | None -> ());
+      if String.equal e.typ "send" && e.msg >= 0 then Hashtbl.replace send_of_msg e.msg e.seq)
+    events;
+  let in_cone = Hashtbl.create 256 in
+  let rec visit seq =
+    if not (Hashtbl.mem in_cone seq) then begin
+      Hashtbl.add in_cone seq ();
+      match Hashtbl.find_opt by_seq seq with
+      | None -> ()
+      | Some e ->
+        (match Hashtbl.find_opt prev_at_pid seq with Some p -> visit p | None -> ());
+        if (String.equal e.typ "deliver" || String.equal e.typ "drop") && e.msg >= 0 then
+          match Hashtbl.find_opt send_of_msg e.msg with
+          | Some s -> visit s
+          | None -> ()
+    end
+  in
+  visit target_seq;
+  List.filter (fun (e : Trace_file.event) -> Hashtbl.mem in_cone e.seq) events
+
+type divergence = {
+  line : int;  (* 1-based *)
+  left : string option;  (* [None] = left file ended first *)
+  right : string option;
+}
+
+(* First line where the two exports differ; [None] = identical. *)
+let diff_lines a b =
+  let rec walk i a b =
+    match (a, b) with
+    | [], [] -> None
+    | x :: a', y :: b' ->
+      if String.equal x y then walk (i + 1) a' b'
+      else Some { line = i; left = Some x; right = Some y }
+    | x :: _, [] -> Some { line = i; left = Some x; right = None }
+    | [], y :: _ -> Some { line = i; left = None; right = Some y }
+  in
+  walk 1 a b

@@ -1,0 +1,101 @@
+(* A small JSON-Schema checker covering exactly the subset the checked-in
+   schemas (docs/schemas/) use: type, properties, required, items, enum,
+   minimum.  Unknown keywords are ignored, like a real validator. *)
+
+type error = { path : string; message : string }
+
+let pp_error ppf { path; message } =
+  Format.fprintf ppf "%s: %s" (if path = "" then "$" else path) message
+
+let type_ok (v : Json_min.t) = function
+  | "object" -> (match v with Json_min.Obj _ -> true | _ -> false)
+  | "array" -> (match v with Json_min.List _ -> true | _ -> false)
+  | "string" -> (match v with Json_min.String _ -> true | _ -> false)
+  | "integer" -> (match v with Json_min.Int _ -> true | _ -> false)
+  | "number" -> (match v with Json_min.Int _ | Json_min.Float _ -> true | _ -> false)
+  | "boolean" -> (match v with Json_min.Bool _ -> true | _ -> false)
+  | "null" -> v = Json_min.Null
+  | other -> ignore other; true
+
+let json_equal (a : Json_min.t) (b : Json_min.t) =
+  match (a, b) with
+  | Json_min.Int x, Json_min.Int y -> Int.equal x y
+  | Json_min.String x, Json_min.String y -> String.equal x y
+  | Json_min.Bool x, Json_min.Bool y -> Bool.equal x y
+  | Json_min.Null, Json_min.Null -> true
+  | _ -> false
+
+let rec validate ~schema ~path value errors =
+  let errors =
+    match Json_min.member "type" schema with
+    | Some (Json_min.String t) ->
+      if type_ok value t then errors
+      else
+        { path; message = Printf.sprintf "expected %s, got %s" t (Json_min.type_name value) }
+        :: errors
+    | Some (Json_min.List alternatives) ->
+      if
+        List.exists
+          (function Json_min.String t -> type_ok value t | _ -> false)
+          alternatives
+      then errors
+      else
+        {
+          path;
+          message =
+            Printf.sprintf "expected one of [%s], got %s"
+              (String.concat ", "
+                 (List.filter_map (function Json_min.String t -> Some t | _ -> None) alternatives))
+              (Json_min.type_name value);
+        }
+        :: errors
+    | _ -> errors
+  in
+  let errors =
+    match Json_min.member "enum" schema with
+    | Some (Json_min.List allowed) ->
+      if List.exists (json_equal value) allowed then errors
+      else { path; message = "value not in enum" } :: errors
+    | _ -> errors
+  in
+  let errors =
+    match (Json_min.member "minimum" schema, value) with
+    | Some (Json_min.Int m), Json_min.Int v when v < m ->
+      { path; message = Printf.sprintf "%d below minimum %d" v m } :: errors
+    | _ -> errors
+  in
+  let errors =
+    match (Json_min.member "required" schema, value) with
+    | Some (Json_min.List names), Json_min.Obj fields ->
+      List.fold_left
+        (fun errors name ->
+          match name with
+          | Json_min.String n when not (List.mem_assoc n fields) ->
+            { path; message = Printf.sprintf "missing required field \"%s\"" n } :: errors
+          | _ -> errors)
+        errors names
+    | _ -> errors
+  in
+  let errors =
+    match (Json_min.member "properties" schema, value) with
+    | Some (Json_min.Obj props), Json_min.Obj fields ->
+      List.fold_left
+        (fun errors (name, sub) ->
+          match List.assoc_opt name fields with
+          | Some v -> validate ~schema:sub ~path:(path ^ "." ^ name) v errors
+          | None -> errors)
+        errors props
+    | _ -> errors
+  in
+  match (Json_min.member "items" schema, value) with
+  | Some item_schema, Json_min.List items ->
+    let _, errors =
+      List.fold_left
+        (fun (i, errors) v ->
+          (i + 1, validate ~schema:item_schema ~path:(Printf.sprintf "%s[%d]" path i) v errors))
+        (0, errors) items
+    in
+    errors
+  | _ -> errors
+
+let check ~schema value = List.rev (validate ~schema ~path:"" value [])
