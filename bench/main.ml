@@ -7,6 +7,9 @@
      dune exec bench/main.exe -- micro   # only the Bechamel group
      dune exec bench/main.exe -- sim_core   # engine hot path -> BENCH_sim_core.json
                                             # (SIM_CORE_EVENTS=2000 for a smoke run)
+     dune exec bench/main.exe -- e20        # heartbeat-saturated scaling + allocs/event
+                                            # (ECFD_E20_NS / ECFD_E20_EVENTS trim it;
+                                            #  ECFD_ALLOC_GATE=1 enables the CI budget gate)
 
    Experiments fan their (subject, seed, n) grids over a Domain job pool;
    --domains N (or ECFD_DOMAINS=N) picks the parallelism, default
@@ -36,6 +39,7 @@ let experiments =
     ("e17", Experiments.e17);
     ("e18", Experiments.e18);
     ("e19", Experiments.e19);
+    ("e20", Micro.e20);
     ("micro", Micro.run);
     ("sim_core", Micro.sim_core);
   ]

@@ -1,6 +1,5 @@
 type event_kind =
   | Deliver of Payload.envelope
-  | Timer_fire of { pid : Pid.t; slot : int; gen : int; callback : unit -> unit }
   | Crash_now of Pid.t
   | Harness of (unit -> unit)
 
@@ -9,19 +8,46 @@ type event_kind =
    the run (entries were never purged, so a soak run leaked one table entry
    per cancellation forever).
 
-   Every armed timer owns one slot until the instant its [Timer_fire] event
-   is popped — fired, cancelled in the meantime, or orphaned by a crash, the
-   pop reclaims the slot and bumps its generation.  A timer handle is
+   Every armed timer owns one slot until the instant its deadline pops —
+   fired, cancelled in the meantime, or orphaned by a crash, the pop
+   reclaims the slot and bumps its generation.  A timer handle is
    (slot, generation); a stale handle (cancel after the event popped, or
    after the slot was reused) compares unequal on generation and is a no-op.
    Residency is therefore bounded by the number of in-flight timer events,
-   not by the cumulative number of cancellations. *)
+   not by the cumulative number of cancellations.
+
+   The registry is a structure of arrays (gen / state / owner pid /
+   callback / periodic control per slot) and pending slots are ordered by
+   {!Timer_wheel}, not by the event heap: a timer occurrence is just a
+   dense int riding intrusive int arrays, so the steady-state heartbeat
+   path — pop, fire, re-arm — performs no minor-heap allocation at all.
+   Aperiodic events (messages, crashes, harness callbacks) stay in the
+   {!Event_queue} heap; [step] merges the two sources by
+   (time, scheduling sequence), both drawing from the queue's single
+   sequence counter, which reproduces exactly the order of the old single
+   combined queue (HACKING.md, "Engine guarantees"). *)
 type timer_state = Free | Armed | Cancelled
+
+(* Re-arm control block for [every], shared by every occurrence of one
+   periodic timer: the only allocation a periodic timer ever performs
+   after setup is none — re-arming mutates this block and the registry
+   columns in place.  [p_period = 0] marks the shared [no_ctl] sentinel
+   used by one-shot timers ([every] validates period > 0). *)
+type periodic = {
+  mutable p_slot : int;
+  mutable p_gen : int;
+  p_period : Sim_time.t;
+  mutable p_stopped : bool;
+}
+
+let no_ctl = { p_slot = -1; p_gen = -1; p_period = 0; p_stopped = false }
+let no_callback () = ()
 
 type t = {
   n : int;
   mutable now : Sim_time.t;
   queue : event_kind Event_queue.t;
+  timer_wheel : Timer_wheel.t;
   link : Link.t;
   rng : Rng.t;
   alive : bool array;
@@ -33,13 +59,29 @@ type t = {
   m_span_duration : Obs.Registry.histogram;
   m_queue_depth_hw : Obs.Registry.gauge;
   m_timer_residency_hw : Obs.Registry.gauge;
+  m_timer_set : Obs.Registry.counter;
+  m_timer_fired : Obs.Registry.counter;
+  m_timer_cancelled : Obs.Registry.counter;
+  m_timer_orphaned : Obs.Registry.counter;
   mutable next_msg : int;  (* message ids handed to Send/Deliver/Drop trace events *)
   mutable next_span : int;  (* span ids handed to Span_begin/Span_end *)
   mutable timer_gens : int array;
   mutable timer_states : timer_state array;
-  mutable timer_free : int list;  (* reclaimed slots below [timer_next_slot] *)
+  mutable timer_pids : int array;
+  mutable timer_cbs : (unit -> unit) array;
+  mutable timer_ctl : periodic array;
+  mutable timer_free : int array;  (* LIFO stack of reclaimed slots *)
+  mutable timer_free_len : int;
   mutable timer_next_slot : int;  (* slots ever handed out; table high-water *)
   mutable timer_live : int;  (* Armed + Cancelled slots awaiting reclaim *)
+  mutable timer_armed : int;  (* Armed slots only: the pending leg of the
+                                 conservation law set = fired + cancelled +
+                                 orphaned + armed *)
+  mutable timer_gen_floor : int;  (* generation for slots (re)created after
+                                     [compact] dropped table space: at least
+                                     one past every generation the dropped
+                                     slots ever handed out, so pre-compact
+                                     handles can never match again *)
 }
 
 (* Sim-tick buckets shared by the engine's latency-shaped histograms: fine
@@ -54,6 +96,7 @@ let create ?(seed = 0) ~n ~link () =
     n;
     now = Sim_time.zero;
     queue = Event_queue.create ();
+    timer_wheel = Timer_wheel.create ();
     link;
     rng = Rng.create ~seed;
     alive = Array.make n true;
@@ -66,13 +109,23 @@ let create ?(seed = 0) ~n ~link () =
     m_span_duration = Obs.Registry.histogram obs ~name:"engine.span_duration" ~buckets:tick_buckets;
     m_queue_depth_hw = Obs.Registry.gauge obs ~name:"engine.queue_depth_high_water";
     m_timer_residency_hw = Obs.Registry.gauge obs ~name:"engine.timer_residency_high_water";
+    m_timer_set = Obs.Registry.counter obs ~name:"engine.timer_set_total";
+    m_timer_fired = Obs.Registry.counter obs ~name:"engine.timer_fired_total";
+    m_timer_cancelled = Obs.Registry.counter obs ~name:"engine.timer_cancelled_total";
+    m_timer_orphaned = Obs.Registry.counter obs ~name:"engine.timer_orphaned_total";
     next_msg = 0;
     next_span = 0;
     timer_gens = [||];
     timer_states = [||];
-    timer_free = [];
+    timer_pids = [||];
+    timer_cbs = [||];
+    timer_ctl = [||];
+    timer_free = [||];
+    timer_free_len = 0;
     timer_next_slot = 0;
     timer_live = 0;
+    timer_armed = 0;
+    timer_gen_floor = 0;
   }
 
 let n t = t.n
@@ -91,13 +144,20 @@ let is_alive t p =
 
 let alive_processes t = List.filter (fun p -> t.alive.(p)) (Pid.all ~n:t.n)
 
+(* Depth of the logical event queue: heap events plus pending timer cells.
+   Timer events used to live in the same heap, so this sum equals the old
+   single-queue length at every instant — the queue high-water mark is
+   unchanged by the wheel split. *)
+let note_event_depth t =
+  let depth = Event_queue.length t.queue + t.timer_live in
+  Stats.note_queue_depth t.stats ~depth;
+  Obs.Registry.set_max t.m_queue_depth_hw depth
+
 (* Every enqueue goes through here so the queue high-water mark in [Stats]
    is exact, not sampled. *)
 let schedule_event t ~at kind =
   Event_queue.schedule t.queue ~at kind;
-  let depth = Event_queue.length t.queue in
-  Stats.note_queue_depth t.stats ~depth;
-  Obs.Registry.set_max t.m_queue_depth_hw depth
+  note_event_depth t
 
 let schedule_crash t p ~at =
   check_pid t p;
@@ -157,80 +217,124 @@ type timer = { slot : int; gen : int }
 
 let timer_residency t = t.timer_live
 let timer_table_capacity t = t.timer_next_slot
+let timer_armed t = t.timer_armed
+
+let free_push t slot =
+  let cap = Array.length t.timer_free in
+  if t.timer_free_len = cap then begin
+    let free' = Array.make (Stdlib.max 16 (2 * cap)) 0 in
+    Array.blit t.timer_free 0 free' 0 cap;
+    t.timer_free <- free'
+  end;
+  t.timer_free.(t.timer_free_len) <- slot;
+  t.timer_free_len <- t.timer_free_len + 1
 
 let alloc_timer_slot t =
-  match t.timer_free with
-  | slot :: rest ->
-    t.timer_free <- rest;
-    slot
-  | [] ->
+  if t.timer_free_len > 0 then begin
+    (* LIFO, like the old cons-list free list: the slot-reuse sequence — and
+       with it the capacity column of e18 — is unchanged. *)
+    t.timer_free_len <- t.timer_free_len - 1;
+    t.timer_free.(t.timer_free_len)
+  end
+  else begin
     let capacity = Array.length t.timer_gens in
     if t.timer_next_slot = capacity then begin
       let capacity' = Stdlib.max 16 (2 * capacity) in
-      let gens' = Array.make capacity' 0 in
+      let gens' = Array.make capacity' t.timer_gen_floor in
       let states' = Array.make capacity' Free in
+      let pids' = Array.make capacity' 0 in
+      let cbs' = Array.make capacity' no_callback in
+      let ctl' = Array.make capacity' no_ctl in
       Array.blit t.timer_gens 0 gens' 0 capacity;
       Array.blit t.timer_states 0 states' 0 capacity;
+      Array.blit t.timer_pids 0 pids' 0 capacity;
+      Array.blit t.timer_cbs 0 cbs' 0 capacity;
+      Array.blit t.timer_ctl 0 ctl' 0 capacity;
       t.timer_gens <- gens';
-      t.timer_states <- states'
+      t.timer_states <- states';
+      t.timer_pids <- pids';
+      t.timer_cbs <- cbs';
+      t.timer_ctl <- ctl';
+      Timer_wheel.ensure_capacity t.timer_wheel capacity'
     end;
     let slot = t.timer_next_slot in
     t.timer_next_slot <- slot + 1;
     slot
+  end
 
 let reclaim_timer_slot t slot =
   t.timer_gens.(slot) <- t.timer_gens.(slot) + 1;
   t.timer_states.(slot) <- Free;
-  t.timer_free <- slot :: t.timer_free;
+  (* Release the callback and control references: the registry must not
+     keep a fired timer's closure alive until the slot happens to be
+     reused (the old heap-backed scheme dropped them at event pop). *)
+  t.timer_cbs.(slot) <- no_callback;
+  t.timer_ctl.(slot) <- no_ctl;
+  free_push t slot;
   t.timer_live <- t.timer_live - 1;
   Stats.on_timer_reclaimed t.stats
 
-let set_timer t p ~delay callback =
-  check_pid t p;
+(* The arm path shared by [set_timer] and the periodic re-arm.  Returns the
+   slot index (not a handle record) so the re-arm fast path stays
+   allocation-free; the accounting sequence — residency note, obs
+   high-water, set counter, depth note — is the exact sequence the old
+   heap-backed [set_timer] performed. *)
+let arm_timer t p ~delay callback ctl =
   if delay < 0 then invalid_arg "Engine.set_timer: negative delay";
   let slot = alloc_timer_slot t in
-  let gen = t.timer_gens.(slot) in
   t.timer_states.(slot) <- Armed;
+  t.timer_pids.(slot) <- p;
+  t.timer_cbs.(slot) <- callback;
+  t.timer_ctl.(slot) <- ctl;
   t.timer_live <- t.timer_live + 1;
+  t.timer_armed <- t.timer_armed + 1;
   Stats.note_timer_residency t.stats ~residency:t.timer_live;
   Obs.Registry.set_max t.m_timer_residency_hw t.timer_live;
   Stats.on_timer_set t.stats;
-  schedule_event t ~at:(t.now + delay) (Timer_fire { pid = p; slot; gen; callback });
-  { slot; gen }
+  Obs.Registry.incr t.m_timer_set;
+  let seq = Event_queue.alloc_seq t.queue in
+  Timer_wheel.add t.timer_wheel ~cell:slot ~deadline:(t.now + delay) ~seq;
+  note_event_depth t;
+  slot
 
-let cancel_timer t { slot; gen } =
+let set_timer t p ~delay callback =
+  check_pid t p;
+  let slot = arm_timer t p ~delay callback no_ctl in
+  { slot; gen = t.timer_gens.(slot) }
+
+let cancel_slot t slot gen =
   (* Stale handles (already fired, already cancelled, slot since reused)
      fail the generation or state check and are no-ops. *)
-  if slot < Array.length t.timer_gens
+  if slot >= 0
+     && slot < Array.length t.timer_gens
      && t.timer_gens.(slot) = gen
      && t.timer_states.(slot) = Armed
   then begin
+    (* The cell stays parked in the wheel until its deadline pops — which
+       is when the slot is reclaimed, exactly as when timer events rode
+       the heap. *)
     t.timer_states.(slot) <- Cancelled;
-    Stats.on_timer_cancelled t.stats
+    t.timer_armed <- t.timer_armed - 1;
+    Stats.on_timer_cancelled t.stats;
+    Obs.Registry.incr t.m_timer_cancelled
   end
+
+let cancel_timer t { slot; gen } = cancel_slot t slot gen
 
 let every t p ?phase ~period callback =
   check_pid t p;
   if period <= 0 then invalid_arg "Engine.every: period must be positive";
   let phase = match phase with Some d -> d | None -> period in
-  let stopped = ref false in
-  let current = ref None in
-  let rec arm delay =
-    current :=
-      Some
-        (set_timer t p ~delay (fun () ->
-             if not !stopped then begin
-               callback ();
-               arm period
-             end))
-  in
-  arm phase;
+  let ctl = { p_slot = 0; p_gen = 0; p_period = period; p_stopped = false } in
+  let slot = arm_timer t p ~delay:phase callback ctl in
+  ctl.p_slot <- slot;
+  ctl.p_gen <- t.timer_gens.(slot);
   fun () ->
-    if not !stopped then begin
-      stopped := true;
+    if not ctl.p_stopped then begin
+      ctl.p_stopped <- true;
       (* Cancel the armed occurrence so its registry slot is accounted as
-         cancelled rather than silently swallowed by the closure flag. *)
-      Option.iter (cancel_timer t) !current
+         cancelled rather than silently swallowed by the stop flag. *)
+      cancel_slot t ctl.p_slot ctl.p_gen
     end
 
 let at t instant callback =
@@ -299,22 +403,51 @@ let dispatch t (envelope : Payload.envelope) =
       h ~src payload
   end
 
+(* A timer cell popped at its deadline.  The reclaim-before-dispatch order
+   matches the old heap-backed path: the callback may set new timers (the
+   slot can be reused immediately — the bumped generation keeps old
+   handles stale) and may read residency counters, which must not include
+   this already-popped timer.
+
+   Periodic semantics replicate the old closure chain exactly, including
+   the stop-from-inside-the-callback corner: the stop flag is tested
+   before the callback runs, so a stop issued by the callback itself still
+   re-arms one final occurrence, which then fires as a no-op (counted
+   fired, callback skipped, chain ends). *)
+let execute_timer t cell =
+  let state = t.timer_states.(cell) in
+  let pid = t.timer_pids.(cell) in
+  let cb = t.timer_cbs.(cell) in
+  let ctl = t.timer_ctl.(cell) in
+  reclaim_timer_slot t cell;
+  match state with
+  | Armed ->
+    t.timer_armed <- t.timer_armed - 1;
+    if t.alive.(pid) then begin
+      Stats.on_timer_fired t.stats;
+      Obs.Registry.incr t.m_timer_fired;
+      if Sim_time.equal ctl.p_period Sim_time.zero then cb ()
+      else if not ctl.p_stopped then begin
+        cb ();
+        (* Re-arm after the callback, so the callback's own sends and
+           timers take their scheduling sequence numbers (and registry
+           slots) first — the order the old closure chain produced. *)
+        let slot = arm_timer t pid ~delay:ctl.p_period cb ctl in
+        ctl.p_slot <- slot;
+        ctl.p_gen <- t.timer_gens.(slot)
+      end
+    end
+    else begin
+      (* Orphaned: the owner crashed between arm and deadline. *)
+      Stats.on_timer_orphaned t.stats;
+      Obs.Registry.incr t.m_timer_orphaned
+    end
+  | Cancelled -> ()
+  | Free -> assert false
+
 let execute t kind =
   match kind with
   | Deliver envelope -> dispatch t envelope
-  | Timer_fire { pid; slot; gen; callback } ->
-    if t.timer_gens.(slot) = gen then begin
-      let state = t.timer_states.(slot) in
-      (* Reclaim before running the callback: the callback may set new
-         timers (the slot can be reused immediately — the bumped generation
-         keeps old handles stale) and may read residency counters, which
-         must not include this already-popped timer. *)
-      reclaim_timer_slot t slot;
-      if state = Armed && t.alive.(pid) then begin
-        Stats.on_timer_fired t.stats;
-        callback ()
-      end
-    end
   | Crash_now p ->
     if t.alive.(p) then begin
       t.alive.(p) <- false;
@@ -322,28 +455,104 @@ let execute t kind =
     end
   | Harness f -> f ()
 
+(* Merge the timer wheel and the event heap by (time, scheduling
+   sequence).  Sequence numbers are globally unique (one counter feeds
+   both sources), so the [<=] is really a [<] — the "wheel wins ties"
+   clause is unreachable, but encodes the documented tie-break.  The
+   timer branch allocates nothing. *)
 let step t =
-  match Event_queue.pop t.queue with
-  | None -> false
-  | Some (at, kind) ->
-    assert (at >= t.now);
-    t.now <- at;
-    Stats.on_event_executed t.stats;
-    execute t kind;
+  let have_timer = not (Timer_wheel.is_empty t.timer_wheel) in
+  let have_event = not (Event_queue.is_empty t.queue) in
+  if not (have_timer || have_event) then false
+  else begin
+    let timer_first =
+      have_timer
+      && ((not have_event)
+         ||
+         let wt = Timer_wheel.next_at t.timer_wheel in
+         let ht = Event_queue.next_at t.queue in
+         if wt < ht then true
+         else if ht < wt then false
+         else Timer_wheel.next_seq t.timer_wheel <= Event_queue.next_seq t.queue)
+    in
+    if timer_first then begin
+      let at = Timer_wheel.next_at t.timer_wheel in
+      let cell = Timer_wheel.pop t.timer_wheel in
+      assert (at >= t.now);
+      t.now <- at;
+      Stats.on_event_executed t.stats;
+      execute_timer t cell
+    end
+    else begin
+      let at = Event_queue.next_at t.queue in
+      let kind = Event_queue.pop_exn t.queue in
+      assert (at >= t.now);
+      t.now <- at;
+      Stats.on_event_executed t.stats;
+      execute t kind
+    end;
     true
+  end
+
+(* Earliest pending instant across both sources; [max_int] when idle.
+   Option-free so the run loop does not allocate per event. *)
+let next_instant t =
+  let wt = if Timer_wheel.is_empty t.timer_wheel then max_int else Timer_wheel.next_at t.timer_wheel in
+  let ht = if Event_queue.is_empty t.queue then max_int else Event_queue.next_at t.queue in
+  if wt < ht then wt else ht
+
+let rec run_loop t horizon =
+  if next_instant t <= horizon then begin
+    ignore (step t : bool);
+    run_loop t horizon
+  end
 
 let run_until t horizon =
   if horizon < t.now then invalid_arg "Engine.run_until: horizon in the past";
-  let rec loop () =
-    match Event_queue.next_time t.queue with
-    | Some at when at <= horizon ->
-      ignore (step t : bool);
-      loop ()
-    | Some _ | None -> ()
-  in
-  loop ();
+  run_loop t horizon;
   t.now <- horizon
 
-let pending_events t = Event_queue.length t.queue
+let pending_events t = Event_queue.length t.queue + t.timer_live
 
-let compact t = Event_queue.shrink t.queue
+let compact t =
+  Event_queue.shrink t.queue;
+  (* Timer-table live high-water: one past the highest non-[Free] slot.
+     Pending cells are never [Free], so everything above is absent from
+     the wheel too and all five registry columns can drop together. *)
+  let live_cap = ref 0 in
+  for s = 0 to t.timer_next_slot - 1 do
+    if t.timer_states.(s) <> Free then live_cap := s + 1
+  done;
+  let cap = !live_cap in
+  if cap < t.timer_next_slot then begin
+    (* Handles into the dropped region must stay stale if the table grows
+       back: every dropped slot was reclaimed (it is [Free]), so its
+       generation already exceeds all outstanding handles — future slots
+       start at the maximum of those. *)
+    let floor = ref t.timer_gen_floor in
+    for s = cap to t.timer_next_slot - 1 do
+      if t.timer_gens.(s) > !floor then floor := t.timer_gens.(s)
+    done;
+    t.timer_gen_floor <- !floor;
+    t.timer_gens <- Array.sub t.timer_gens 0 cap;
+    t.timer_states <- Array.sub t.timer_states 0 cap;
+    t.timer_pids <- Array.sub t.timer_pids 0 cap;
+    t.timer_cbs <- Array.sub t.timer_cbs 0 cap;
+    t.timer_ctl <- Array.sub t.timer_ctl 0 cap;
+    t.timer_next_slot <- cap;
+    (* Keep only free-stack entries that survived, preserving LIFO order
+       so the slot-reuse sequence is unaffected. *)
+    let kept = ref 0 in
+    for i = 0 to t.timer_free_len - 1 do
+      let s = t.timer_free.(i) in
+      if s < cap then begin
+        t.timer_free.(!kept) <- s;
+        incr kept
+      end
+    done;
+    t.timer_free_len <- !kept;
+    let free_target = Stdlib.max 16 t.timer_free_len in
+    if Array.length t.timer_free > free_target then
+      t.timer_free <- Array.sub t.timer_free 0 free_target;
+    Timer_wheel.shrink_capacity t.timer_wheel cap
+  end

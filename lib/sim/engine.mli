@@ -10,7 +10,13 @@
 
     Determinism: the engine owns a seeded {!Rng} used exclusively for link
     fates, and same-instant events fire in scheduling order, so a run is a
-    pure function of (seed, configuration, component code).
+    pure function of (seed, configuration, component code).  Internally the
+    engine keeps two event sources — a hierarchical {!Timer_wheel} for
+    timers and an {!Event_queue} heap for aperiodic events — merged by
+    (time, scheduling sequence) from one shared counter, with the wheel
+    winning the (unreachable, sequence numbers being unique) exact tie;
+    the merged order is identical to a single combined queue's
+    (HACKING.md, "Engine guarantees").
 
     Conventions:
     - a {b self-send} ([src = dst]) is local: it is delivered at the current
@@ -34,10 +40,12 @@ val stats : t -> Stats.t
 val obs : t -> Obs.Registry.t
 (** The engine's metric registry.  The engine itself feeds
     [engine.delivery_latency] (per non-local delivery),
-    [engine.span_duration] (on {!end_span}) and the
+    [engine.span_duration] (on {!end_span}), the
     [engine.queue_depth_high_water] / [engine.timer_residency_high_water]
-    gauges; components register their own metrics here — with literal
-    names (lint rule R6). *)
+    gauges, and the timer lifecycle counters [engine.timer_set_total],
+    [engine.timer_fired_total], [engine.timer_cancelled_total] and
+    [engine.timer_orphaned_total]; components register their own metrics
+    here — with literal names (lint rule R6). *)
 
 val link_description : t -> string
 
@@ -94,7 +102,13 @@ val every : t -> Pid.t -> ?phase:int -> period:int -> (unit -> unit) -> unit -> 
     [period] ticks, while [p] is alive.  With [~phase:0] the first firing
     happens at the current instant (after the currently executing event),
     then exactly once per period.  Returns a stop function; stopping
-    cancels the armed occurrence.  [phase] defaults to [period]. *)
+    cancels the armed occurrence.  [phase] defaults to [period].
+
+    Re-arming is the engine's hot path: each occurrence re-inserts the
+    same registry cell into the timer wheel by mutating int arrays and a
+    shared control block — no closure, heap node or handle record is
+    allocated per occurrence (the sim-core bench asserts this via
+    [Gc.minor_words] deltas). *)
 
 val timer_residency : t -> int
 (** Registry slots currently occupied (armed timers plus cancelled timers
@@ -103,7 +117,13 @@ val timer_residency : t -> int
 val timer_table_capacity : t -> int
 (** Registry slots ever allocated — the table's high-water mark; bounded by
     the peak number of simultaneously in-flight timers, not by run
-    length. *)
+    length.  {!compact} lowers it to the live high-water. *)
+
+val timer_armed : t -> int
+(** Timers currently armed (set, not yet fired/cancelled/orphaned): the
+    pending leg of the lifecycle conservation law
+    [timers_set = timers_fired + timers_cancelled + timers_orphaned +
+    timer_armed], which holds at every instant. *)
 
 (** {1 Harness hooks} *)
 
@@ -141,15 +161,22 @@ val record_fd_view :
 (** {1 Execution} *)
 
 val step : t -> bool
-(** Process the next event; [false] if the queue is empty. *)
+(** Process the next event; [false] if the queue is empty.  Merges the
+    timer wheel and the event heap by (time, scheduling sequence); a
+    timer step allocates nothing on the minor heap. *)
 
 val run_until : t -> Sim_time.t -> unit
 (** Process every event up to and including the given instant, then set the
     clock to it.  Raises [Invalid_argument] on a horizon in the past. *)
 
 val pending_events : t -> int
+(** Heap events plus pending timer cells — the logical queue depth (the
+    same figure the pre-wheel single queue reported). *)
 
 val compact : t -> unit
-(** Return event-queue backing-store slack to the GC after a scheduling
-    burst; never drops events.  Long-lived engines (soaks, servers) can
-    call this between load phases. *)
+(** Return backing-store slack to the GC after a scheduling burst; never
+    drops events or timers.  Shrinks the event queue {i and} the timer
+    table: registry columns, free stack and wheel drop to the live
+    high-water slot (pre-shrink handles into the dropped region stay
+    permanently stale via a generation floor).  Long-lived engines
+    (soaks, servers) can call this between load phases. *)

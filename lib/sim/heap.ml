@@ -43,53 +43,73 @@ let grow t =
     t.data <- data'
   end
 
-let swap t i j =
-  let tmp = t.data.(i) in
-  t.data.(i) <- t.data.(j);
-  t.data.(j) <- tmp
+(* Hole-based sifts: the displaced slot [s] rides in a register while the
+   hole migrates, one slot write per level instead of the three of a
+   swap-based sift, and — unlike the previous [ref]-accumulator version of
+   [sift_down] — no minor-heap allocation at all on the pop path. *)
 
-let rec sift_up t i =
-  if i > 0 then begin
+(* The hole-migration loops are top-level (not [let rec] closures inside
+   the sifts): a local recursive closure capturing [t] and [v] is a fresh
+   minor-heap block per call, which is exactly the allocation the rewrite
+   exists to remove. *)
+
+let rec sift_up_hole t v i =
+  if i = 0 then i
+  else begin
     let parent = (i - 1) / 2 in
-    if t.cmp (get t i) (get t parent) < 0 then begin
-      swap t i parent;
-      sift_up t parent
+    if t.cmp v (get t parent) < 0 then begin
+      t.data.(i) <- t.data.(parent);
+      sift_up_hole t v parent
     end
+    else i
   end
 
-let rec sift_down t i =
+let sift_up t i s =
+  let v = match s with Elem e -> e.v | Empty -> assert false in
+  t.data.(sift_up_hole t v i) <- s
+
+let rec sift_down_hole t v i =
   let left = (2 * i) + 1 in
-  let right = left + 1 in
-  let smallest = ref i in
-  if left < t.size && t.cmp (get t left) (get t !smallest) < 0 then smallest := left;
-  if right < t.size && t.cmp (get t right) (get t !smallest) < 0 then smallest := right;
-  if !smallest <> i then begin
-    swap t i !smallest;
-    sift_down t !smallest
+  if left >= t.size then i
+  else begin
+    let right = left + 1 in
+    let child =
+      if right < t.size && t.cmp (get t right) (get t left) < 0 then right else left
+    in
+    if t.cmp (get t child) v < 0 then begin
+      t.data.(i) <- t.data.(child);
+      sift_down_hole t v child
+    end
+    else i
   end
+
+let sift_down t i s =
+  let v = match s with Elem e -> e.v | Empty -> assert false in
+  t.data.(sift_down_hole t v i) <- s
 
 let push t x =
   grow t;
-  t.data.(t.size) <- Elem { v = x };
   t.size <- t.size + 1;
   t.live <- t.live + 1;
-  sift_up t (t.size - 1)
+  sift_up t (t.size - 1) (Elem { v = x })
 
 let peek t = if t.size = 0 then None else Some (get t 0)
 
-let pop t =
-  if t.size = 0 then None
-  else begin
-    let top = get t 0 in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.data.(0) <- t.data.(t.size);
-      sift_down t 0
-    end;
-    t.data.(t.size) <- Empty;
-    t.live <- t.live - 1;
-    Some top
-  end
+let top_exn t =
+  if t.size = 0 then invalid_arg "Heap.top_exn: empty heap";
+  get t 0
+
+let pop_exn t =
+  if t.size = 0 then invalid_arg "Heap.pop_exn: empty heap";
+  let top = get t 0 in
+  t.size <- t.size - 1;
+  let last = t.data.(t.size) in
+  t.data.(t.size) <- Empty;
+  if t.size > 0 then sift_down t 0 last;
+  t.live <- t.live - 1;
+  top
+
+let pop t = if t.size = 0 then None else Some (pop_exn t)
 
 let shrink t =
   let target = Stdlib.max min_capacity t.size in

@@ -38,10 +38,20 @@ val push : 'a t -> 'a -> unit
 val peek : 'a t -> 'a option
 (** Smallest element, without removing it. *)
 
+val top_exn : 'a t -> 'a
+(** Smallest element without the [option] box: the engine's hot loop peeks
+    on every step, and wrapping the result would allocate per event.
+    Raises [Invalid_argument] on an empty heap — guard with {!is_empty}. *)
+
 val pop : 'a t -> 'a option
 (** Remove and return the smallest element.  The vacated slot no longer
     references the element, so the GC can reclaim it once the caller is
     done. *)
+
+val pop_exn : 'a t -> 'a
+(** [pop] without the [option] box; allocation-free (the sift is hole-based
+    — one slot write per level, no [ref], no swap).  Raises
+    [Invalid_argument] on an empty heap — guard with {!is_empty}. *)
 
 val shrink : 'a t -> unit
 (** Reduce capacity to [max 8 (length t)], releasing burst slack.  Never

@@ -18,6 +18,7 @@ type lifecycle = {
   timers_set : int;
   timers_fired : int;
   timers_cancelled : int;
+  timers_orphaned : int;
   timers_reclaimed : int;
   queue_high_water : int;
   timer_residency_high_water : int;
@@ -31,6 +32,7 @@ type t = {
   mutable timers_set : int;
   mutable timers_fired : int;
   mutable timers_cancelled : int;
+  mutable timers_orphaned : int;
   mutable timers_reclaimed : int;
   mutable queue_high_water : int;
   mutable timer_residency_high_water : int;
@@ -43,6 +45,7 @@ let create () =
     timers_set = 0;
     timers_fired = 0;
     timers_cancelled = 0;
+    timers_orphaned = 0;
     timers_reclaimed = 0;
     queue_high_water = 0;
     timer_residency_high_water = 0;
@@ -73,6 +76,7 @@ let on_event_executed t = t.events_executed <- t.events_executed + 1
 let on_timer_set t = t.timers_set <- t.timers_set + 1
 let on_timer_fired t = t.timers_fired <- t.timers_fired + 1
 let on_timer_cancelled t = t.timers_cancelled <- t.timers_cancelled + 1
+let on_timer_orphaned t = t.timers_orphaned <- t.timers_orphaned + 1
 let on_timer_reclaimed t = t.timers_reclaimed <- t.timers_reclaimed + 1
 
 let note_queue_depth t ~depth =
@@ -88,6 +92,7 @@ let lifecycle t =
     timers_set = t.timers_set;
     timers_fired = t.timers_fired;
     timers_cancelled = t.timers_cancelled;
+    timers_orphaned = t.timers_orphaned;
     timers_reclaimed = t.timers_reclaimed;
     queue_high_water = t.queue_high_water;
     timer_residency_high_water = t.timer_residency_high_water;
@@ -95,10 +100,10 @@ let lifecycle t =
 
 let pp_lifecycle ppf (l : lifecycle) =
   Format.fprintf ppf
-    "events=%d timers(set=%d fired=%d cancelled=%d reclaimed=%d) queue-high-water=%d \
-     timer-residency-high-water=%d"
-    l.events_executed l.timers_set l.timers_fired l.timers_cancelled l.timers_reclaimed
-    l.queue_high_water l.timer_residency_high_water
+    "events=%d timers(set=%d fired=%d cancelled=%d orphaned=%d reclaimed=%d) \
+     queue-high-water=%d timer-residency-high-water=%d"
+    l.events_executed l.timers_set l.timers_fired l.timers_cancelled l.timers_orphaned
+    l.timers_reclaimed l.queue_high_water l.timer_residency_high_water
 
 let component_counts t ~component =
   Hashtbl.fold

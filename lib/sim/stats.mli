@@ -14,6 +14,12 @@ type lifecycle = {
   timers_set : int;
   timers_fired : int;  (** fired = callback actually ran *)
   timers_cancelled : int;
+  timers_orphaned : int;
+      (** popped [Armed] with a dead owner: the crash, not a fire or a
+          cancel, retired the timer.  Closes the conservation law
+          [timers_set = fired + cancelled + orphaned + armed-pending]
+          (see [Engine.timer_armed]); before this counter existed, crash
+          orphans were reclaimed but invisible in the lifecycle ledger. *)
   timers_reclaimed : int;
       (** registry slots released when a timer's event was popped (fired,
           cancelled, or owner crashed) — lags [timers_set] by exactly the
@@ -42,6 +48,7 @@ val on_event_executed : t -> unit
 val on_timer_set : t -> unit
 val on_timer_fired : t -> unit
 val on_timer_cancelled : t -> unit
+val on_timer_orphaned : t -> unit
 val on_timer_reclaimed : t -> unit
 
 val note_queue_depth : t -> depth:int -> unit

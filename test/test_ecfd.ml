@@ -516,6 +516,27 @@ let ec_consensus_tests =
         let r = run_ec ~n ~net ~crashes ~horizon:8000 () in
         Test_util.bool_law "safety"
           (Spec.Consensus_props.check_safety r.trace = []));
+    tc "timer ledger conserves across the full stack (crashes orphan, nothing leaks)" (fun () ->
+        (* The protocol stack under crashes is the richest timer workload in
+           the repo: heartbeat periodics, timeout one-shots, stubborn
+           retransmissions — some fired, some cancelled, some orphaned by
+           crashes.  Whatever the mix, the engine's lifecycle ledger must
+           balance: set = fired + cancelled + orphaned + still-armed, and
+           every set timer is reclaimed or still resident. *)
+        let r =
+          run_ec ~n:5
+            ~crashes:(Sim.Fault.crashes [ (1, 40); (3, 150) ])
+            ~horizon:10_000 ()
+        in
+        let e = r.engine in
+        let lc = Sim.Stats.lifecycle (Sim.Engine.stats e) in
+        Alcotest.(check bool) "crashes orphaned at least one armed timer" true
+          (lc.Sim.Stats.timers_orphaned > 0);
+        Alcotest.(check int) "conservation law" lc.Sim.Stats.timers_set
+          (lc.Sim.Stats.timers_fired + lc.Sim.Stats.timers_cancelled
+          + lc.Sim.Stats.timers_orphaned + Sim.Engine.timer_armed e);
+        Alcotest.(check int) "no leaked registry slots" lc.Sim.Stats.timers_set
+          (lc.Sim.Stats.timers_reclaimed + Sim.Engine.timer_residency e));
   ]
 
 let suites =

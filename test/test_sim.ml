@@ -283,6 +283,139 @@ let event_queue_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Timer wheel                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Deltas that straddle every structural edge of the wheel: slot 0,
+   level boundaries (32^k - 1, 32^k, 32^k + 1 for each level), the span
+   edge where cells park in the overflow list, and multiples of the span
+   (several overflow migrations before the cell becomes placeable). *)
+let wheel_boundary_deltas =
+  let span = Sim.Timer_wheel.span in
+  [
+    0; 1; 2; 30; 31; 32; 33; 63; 64; 1023; 1024; 1025; 32767; 32768; 32769;
+    1_048_575; 1_048_576; 1_048_577; 33_554_431; 33_554_432; 33_554_433;
+    span - 1; span; span + 1; (2 * span) - 1; 2 * span; 3 * span;
+  ]
+
+let timer_wheel_tests =
+  [
+    tc "structural constants" (fun () ->
+        Alcotest.(check int) "span = 32^levels" Sim.Timer_wheel.span
+          (int_of_float
+             (float_of_int Sim.Timer_wheel.slots_per_level ** float_of_int Sim.Timer_wheel.levels)));
+    tc "single cell pops at its deadline" (fun () ->
+        let w = Sim.Timer_wheel.create () in
+        Sim.Timer_wheel.add w ~cell:0 ~deadline:17 ~seq:3;
+        Alcotest.(check int) "next_at" 17 (Sim.Timer_wheel.next_at w);
+        Alcotest.(check int) "next_seq" 3 (Sim.Timer_wheel.next_seq w);
+        Alcotest.(check int) "pop" 0 (Sim.Timer_wheel.pop w);
+        Alcotest.(check bool) "empty" true (Sim.Timer_wheel.is_empty w));
+    tc "equal deadlines pop in seq order regardless of insertion order" (fun () ->
+        let w = Sim.Timer_wheel.create () in
+        Sim.Timer_wheel.add w ~cell:0 ~deadline:5 ~seq:9;
+        Sim.Timer_wheel.add w ~cell:1 ~deadline:5 ~seq:2;
+        Sim.Timer_wheel.add w ~cell:2 ~deadline:5 ~seq:4;
+        Alcotest.(check (list int)) "seq order" [ 1; 2; 0 ]
+          (List.init 3 (fun _ -> Sim.Timer_wheel.pop w)));
+    tc "boundary deltas drain in deadline order across cascades" (fun () ->
+        (* One cell per structural edge, inserted far-to-near so every
+           level and the overflow list are populated at once. *)
+        let w = Sim.Timer_wheel.create () in
+        let deltas = List.sort (fun a b -> compare b a) wheel_boundary_deltas in
+        List.iteri (fun i d -> Sim.Timer_wheel.add w ~cell:i ~deadline:d ~seq:i) deltas;
+        let expected = List.sort compare wheel_boundary_deltas in
+        let popped =
+          List.init (List.length deltas) (fun _ ->
+              let at = Sim.Timer_wheel.next_at w in
+              let cell = Sim.Timer_wheel.pop w in
+              (at, cell))
+        in
+        Alcotest.(check (list int)) "deadline order" expected (List.map fst popped);
+        Alcotest.(check bool) "drained" true (Sim.Timer_wheel.is_empty w));
+    tc "adding behind the cursor raises" (fun () ->
+        let w = Sim.Timer_wheel.create () in
+        Sim.Timer_wheel.add w ~cell:0 ~deadline:10 ~seq:0;
+        ignore (Sim.Timer_wheel.pop w : int);
+        Alcotest.(check bool) "raises" true
+          (try
+             Sim.Timer_wheel.add w ~cell:1 ~deadline:9 ~seq:1;
+             false
+           with Invalid_argument _ -> true));
+    Test_util.qcheck ~count:300 ~name:"wheel and heap queue pop the identical (time, seq) stream"
+      QCheck2.Gen.(
+        list_size (int_range 0 150)
+          (option (tup2 (int_range 0 40) (int_range 0 80))))
+      (fun ops ->
+        (* Some (b, r): insert at now + delta where the delta is a boundary
+           delta (b indexes the table) perturbed by a small random offset r;
+           None: pop.  The same (deadline, payload) stream goes into the
+           wheel and into an [Event_queue] (the binary heap); both must
+           agree on every pop — same instant, same cell — and on emptiness.
+           This is the merge soundness argument of HACKING.md in test form:
+           either structure could carry the timers and the order would not
+           change. *)
+        let w = Sim.Timer_wheel.create () in
+        let q = Sim.Event_queue.create () in
+        let boundaries = Array.of_list wheel_boundary_deltas in
+        let now = ref 0 in
+        let next_cell = ref 0 in
+        let pending = ref 0 in
+        List.for_all
+          (fun op ->
+            match op with
+            | Some (b, r) ->
+              let delta = boundaries.(b mod Array.length boundaries) + r in
+              let cell = !next_cell in
+              incr next_cell;
+              incr pending;
+              let deadline = !now + delta in
+              (* Event_queue's internal counter allocates the same seq the
+                 wheel is handed, mirroring the engine's shared counter. *)
+              let seq = Sim.Event_queue.alloc_seq q in
+              ignore (seq : int);
+              Sim.Event_queue.schedule q ~at:deadline cell;
+              Sim.Timer_wheel.add w ~cell ~deadline ~seq;
+              Sim.Timer_wheel.cardinal w = !pending
+            | None ->
+              if !pending = 0 then
+                Sim.Timer_wheel.is_empty w && Sim.Event_queue.length q = 0
+              else begin
+                decr pending;
+                let at_w = Sim.Timer_wheel.next_at w in
+                let at_q = Sim.Event_queue.next_at q in
+                let cell_w = Sim.Timer_wheel.pop w in
+                let cell_q = Sim.Event_queue.pop_exn q in
+                now := at_w;
+                at_w = at_q && cell_w = cell_q
+              end)
+          ops
+        &&
+        (* Drain the rest: the tails must agree too. *)
+        let rec drain () =
+          if Sim.Timer_wheel.is_empty w then Sim.Event_queue.length q = 0
+          else
+            let at_w = Sim.Timer_wheel.next_at w in
+            let at_q = Sim.Event_queue.next_at q in
+            at_w = at_q
+            && Sim.Timer_wheel.pop w = Sim.Event_queue.pop_exn q
+            && drain ()
+        in
+        drain ());
+    tc "shrink_capacity drops columns after the wheel empties" (fun () ->
+        let w = Sim.Timer_wheel.create () in
+        Sim.Timer_wheel.ensure_capacity w 1024;
+        Alcotest.(check bool) "grew" true (Sim.Timer_wheel.capacity w >= 1024);
+        Sim.Timer_wheel.add w ~cell:3 ~deadline:1 ~seq:0;
+        ignore (Sim.Timer_wheel.pop w : int);
+        Sim.Timer_wheel.shrink_capacity w 4;
+        Alcotest.(check bool) "shrunk" true (Sim.Timer_wheel.capacity w <= 16);
+        (* Still fully usable after shrinking. *)
+        Sim.Timer_wheel.add w ~cell:2 ~deadline:5 ~seq:1;
+        Alcotest.(check int) "pops" 2 (Sim.Timer_wheel.pop w));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Link                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -556,6 +689,11 @@ let engine_tests =
         Alcotest.(check int) "set" 3 lc.Sim.Stats.timers_set;
         Alcotest.(check int) "fired" 1 lc.Sim.Stats.timers_fired;
         Alcotest.(check int) "cancelled" 1 lc.Sim.Stats.timers_cancelled;
+        Alcotest.(check int) "crash-orphaned" 1 lc.Sim.Stats.timers_orphaned;
+        Alcotest.(check int) "nothing armed" 0 (Sim.Engine.timer_armed e);
+        Alcotest.(check int) "conservation" lc.Sim.Stats.timers_set
+          (lc.Sim.Stats.timers_fired + lc.Sim.Stats.timers_cancelled
+          + lc.Sim.Stats.timers_orphaned + Sim.Engine.timer_armed e);
         Alcotest.(check int) "all reclaimed" 3 lc.Sim.Stats.timers_reclaimed;
         Alcotest.(check int) "no residual slots" 0 (Sim.Engine.timer_residency e));
     tc "every ~phase:0 fires at the current instant, then exactly once per period" (fun () ->
@@ -589,6 +727,94 @@ let engine_tests =
         let lc = Sim.Stats.lifecycle (Sim.Engine.stats e) in
         Alcotest.(check int) "all 1000 set" 1000 lc.Sim.Stats.timers_set;
         Alcotest.(check bool) "capacity stays tiny" true (Sim.Engine.timer_table_capacity e <= 16));
+    tc "same-instant timers and harness events interleave in scheduling order" (fun () ->
+        (* Timers live in the wheel and harness actions in the event heap;
+           the merge must reproduce global scheduling order, never give one
+           source blanket priority. *)
+        let e = mk_engine () in
+        let log = ref [] in
+        let push tag () = log := tag :: !log in
+        Sim.Engine.at e 5 (push "heap-1");
+        ignore (Sim.Engine.set_timer e 0 ~delay:5 (push "wheel-1") : Sim.Engine.timer);
+        Sim.Engine.at e 5 (push "heap-2");
+        ignore (Sim.Engine.set_timer e 0 ~delay:5 (push "wheel-2") : Sim.Engine.timer);
+        Sim.Engine.run_until e 5;
+        Alcotest.(check (list string)) "scheduling order"
+          [ "heap-1"; "wheel-1"; "heap-2"; "wheel-2" ]
+          (List.rev !log));
+    tc "compact shrinks the timer table to live residency" (fun () ->
+        let e = mk_engine () in
+        (* The straggler is armed first, so it holds slot 0 — the table's
+           live high-water after the burst drains. *)
+        let fired = ref false in
+        ignore (Sim.Engine.set_timer e 0 ~delay:200 (fun () -> fired := true) : Sim.Engine.timer);
+        (* A burst of concurrent timers grows the table, then drains. *)
+        for i = 0 to 999 do
+          ignore (Sim.Engine.set_timer e 0 ~delay:(1 + (i mod 50)) (fun () -> ()) : Sim.Engine.timer)
+        done;
+        Sim.Engine.run_until e 60;
+        Alcotest.(check bool) "burst grew the table" true
+          (Sim.Engine.timer_table_capacity e >= 1000);
+        Sim.Engine.compact e;
+        Alcotest.(check bool) "shrunk to live residency" true
+          (Sim.Engine.timer_table_capacity e <= 16);
+        Sim.Engine.run_until e 250;
+        Alcotest.(check bool) "straggler survived compaction" true !fired);
+    tc "handles from before compact stay stale after the table regrows" (fun () ->
+        let e = mk_engine () in
+        let doomed = ref [] in
+        for _ = 0 to 99 do
+          doomed := Sim.Engine.set_timer e 0 ~delay:1 (fun () -> ()) :: !doomed
+        done;
+        Sim.Engine.run_until e 2;
+        Sim.Engine.compact e;
+        Alcotest.(check int) "table emptied" 0 (Sim.Engine.timer_table_capacity e);
+        (* Regrow the dropped region with fresh timers; the pre-compact
+           handles must not be able to cancel any of them. *)
+        let fired = ref 0 in
+        for _ = 0 to 99 do
+          ignore (Sim.Engine.set_timer e 0 ~delay:3 (fun () -> incr fired) : Sim.Engine.timer)
+        done;
+        List.iter (Sim.Engine.cancel_timer e) !doomed;
+        Sim.Engine.run_until e 10;
+        Alcotest.(check int) "stale cancels were no-ops" 100 !fired);
+    Test_util.qcheck ~count:80 ~name:"random timer workloads conserve the lifecycle ledger"
+      QCheck2.Gen.(tup2 (int_range 0 10_000) (int_range 1 6))
+      (fun (seed, n) ->
+        (* A random mix of one-shots, periodics, cancellations and one
+           crash; the conservation law must hold mid-run and at the end:
+           set = fired + cancelled + orphaned + armed, and every set timer
+           is reclaimed or still resident. *)
+        let e = Sim.Engine.create ~seed ~n ~link:(Sim.Link.synchronous ~delay:1) () in
+        let rng = Sim.Rng.create ~seed:(seed + 1) in
+        let cancels = ref [] in
+        for _ = 1 to 40 do
+          let p = Sim.Rng.int rng ~bound:n in
+          match Sim.Rng.int rng ~bound:3 with
+          | 0 ->
+            let delay = Sim.Rng.int rng ~bound:64 in
+            let t = Sim.Engine.set_timer e p ~delay (fun () -> ()) in
+            if Sim.Rng.int rng ~bound:2 = 0 then cancels := t :: !cancels
+          | 1 ->
+            let period = 1 + Sim.Rng.int rng ~bound:7 in
+            ignore (Sim.Engine.every e p ~period (fun () -> ()) : unit -> unit)
+          | _ -> List.iter (Sim.Engine.cancel_timer e) !cancels
+        done;
+        Sim.Engine.schedule_crash e (Sim.Rng.int rng ~bound:n) ~at:(1 + Sim.Rng.int rng ~bound:30);
+        let holds () =
+          let lc = Sim.Stats.lifecycle (Sim.Engine.stats e) in
+          lc.Sim.Stats.timers_set
+          = lc.Sim.Stats.timers_fired + lc.Sim.Stats.timers_cancelled
+            + lc.Sim.Stats.timers_orphaned + Sim.Engine.timer_armed e
+          && lc.Sim.Stats.timers_set
+             = lc.Sim.Stats.timers_reclaimed + Sim.Engine.timer_residency e
+        in
+        let mid = ref true in
+        for h = 1 to 10 do
+          Sim.Engine.run_until e (h * 8);
+          mid := !mid && holds ()
+        done;
+        !mid && holds ());
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -698,6 +924,7 @@ let suites =
     ("sim.rng", rng_tests);
     ("sim.heap", heap_tests);
     ("sim.event_queue", event_queue_tests);
+    ("sim.timer_wheel", timer_wheel_tests);
     ("sim.link", link_tests);
     ("sim.engine", engine_tests);
     ("sim.stats", stats_tests);

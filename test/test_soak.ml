@@ -141,7 +141,45 @@ let soak_tests =
         Alcotest.(check bool)
           (Printf.sprintf "queue high-water bounded (%d)" lc.Sim.Stats.queue_high_water)
           true
-          (lc.Sim.Stats.queue_high_water <= n * 8));
+          (lc.Sim.Stats.queue_high_water <= n * 8);
+        (* Mid-flight, [compact] may only tighten, never disturb: capacity
+           stays within the old bound and covers everything resident. *)
+        Sim.Engine.compact engine;
+        Alcotest.(check bool) "mid-flight compact keeps capacity within the bound" true
+          (Sim.Engine.timer_table_capacity engine <= bound
+          && Sim.Engine.timer_table_capacity engine >= Sim.Engine.timer_residency engine);
+        let before = (Sim.Stats.lifecycle (Sim.Engine.stats engine)).Sim.Stats.timers_fired in
+        let resumed = ref 0 in
+        while !resumed < 10_000 && Sim.Engine.step engine do
+          incr resumed
+        done;
+        let after = (Sim.Stats.lifecycle (Sim.Engine.stats engine)).Sim.Stats.timers_fired in
+        Alcotest.(check bool) "engine keeps firing timers after mid-flight compaction" true
+          (after > before);
+        (* Crash every process: the periodics stop re-arming, the remaining
+           pops come up orphaned, and the registry drains to empty — at
+           which point [compact] must shrink the table to the live
+           residency, i.e. zero.  This is the contract a long-lived engine
+           relies on: footprint tracks what is in flight now, not the
+           historical high-water. *)
+        List.iter
+          (fun p -> Sim.Engine.schedule_crash engine p ~at:(Sim.Engine.now engine + 1))
+          (Sim.Pid.all ~n);
+        while Sim.Engine.step engine do
+          ()
+        done;
+        let lc = Sim.Stats.lifecycle (Sim.Engine.stats engine) in
+        Alcotest.(check bool)
+          (Printf.sprintf "drain orphaned the in-flight timers (%d)" lc.Sim.Stats.timers_orphaned)
+          true
+          (lc.Sim.Stats.timers_orphaned > 0);
+        Alcotest.(check int) "conservation after drain: set = fired + cancelled + orphaned"
+          lc.Sim.Stats.timers_set
+          (lc.Sim.Stats.timers_fired + lc.Sim.Stats.timers_cancelled + lc.Sim.Stats.timers_orphaned);
+        Alcotest.(check int) "registry fully drained" 0 (Sim.Engine.timer_residency engine);
+        Sim.Engine.compact engine;
+        Alcotest.(check int) "compact shrank the drained table to live residency" 0
+          (Sim.Engine.timer_table_capacity engine));
   ]
 
 let suites = [ ("soak", soak_tests) ]
