@@ -57,14 +57,19 @@ let rec sift_up_hole t v i =
   if i = 0 then i
   else begin
     let parent = (i - 1) / 2 in
-    if t.cmp v (get t parent) < 0 then begin
+    if (t.cmp v (get t parent)
+       [@alloc.allow extern
+           "caller-supplied comparison: the engine's comparators are int \
+            comparisons (Event_queue.compare_entry); watched by e20"])
+       < 0
+    then begin
       t.data.(i) <- t.data.(parent);
       sift_up_hole t v parent
     end
     else i
   end
 
-let sift_up t i s =
+let[@alloc.zero] sift_up t i s =
   let v = match s with Elem e -> e.v | Empty -> assert false in
   t.data.(sift_up_hole t v i) <- s
 
@@ -74,16 +79,28 @@ let rec sift_down_hole t v i =
   else begin
     let right = left + 1 in
     let child =
-      if right < t.size && t.cmp (get t right) (get t left) < 0 then right else left
+      if right < t.size
+         && (t.cmp (get t right) (get t left)
+            [@alloc.allow extern
+                "caller-supplied comparison: the engine's comparators are int \
+                 comparisons (Event_queue.compare_entry); watched by e20"])
+            < 0
+      then right
+      else left
     in
-    if t.cmp (get t child) v < 0 then begin
+    if (t.cmp (get t child) v
+       [@alloc.allow extern
+           "caller-supplied comparison: the engine's comparators are int \
+            comparisons (Event_queue.compare_entry); watched by e20"])
+       < 0
+    then begin
       t.data.(i) <- t.data.(child);
       sift_down_hole t v child
     end
     else i
   end
 
-let sift_down t i s =
+let[@alloc.zero] sift_down t i s =
   let v = match s with Elem e -> e.v | Empty -> assert false in
   t.data.(sift_down_hole t v i) <- s
 
@@ -99,7 +116,7 @@ let top_exn t =
   if t.size = 0 then invalid_arg "Heap.top_exn: empty heap";
   get t 0
 
-let pop_exn t =
+let[@alloc.zero] pop_exn t =
   if t.size = 0 then invalid_arg "Heap.pop_exn: empty heap";
   let top = get t 0 in
   t.size <- t.size - 1;

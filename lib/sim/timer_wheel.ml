@@ -94,7 +94,10 @@ let cardinal t = t.cardinal
 let is_empty t = t.cardinal = 0
 let capacity t = Array.length t.cell_at
 
-let ensure_capacity t n =
+let[@alloc.allow bulk
+     "amortized cell-column growth: the three parallel columns double \
+      together, so per-add cost is O(1) and a steady-state run never takes \
+      this branch"] ensure_capacity t n =
   let cap = Array.length t.cell_at in
   if n > cap then begin
     let cap' = Stdlib.max 16 (Stdlib.max n (2 * cap)) in
@@ -206,7 +209,7 @@ let migrate_overflow t =
    deadline below the minimum, hence is empty — and its cells re-place at
    strictly lower levels (a cell re-landing at level k would need
    delta >= 32^k, impossible inside the containing slot). *)
-let advance_to t target =
+let[@alloc.zero] advance_to t target =
   t.cur <- target;
   if t.ovf_head >= 0 && t.ovf_min_at - target < span then migrate_overflow t;
   for k = levels - 1 downto 1 do
@@ -221,7 +224,9 @@ let advance_to t target =
     end
   done
 
-let grow_batch t =
+let[@alloc.allow bulk
+     "amortized firing-batch growth: doubles, so per-pop cost is O(1); the \
+      batch array is retained between batches and reused"] grow_batch t =
   let cap = Array.length t.batch in
   if t.batch_len = cap then begin
     let batch' = Array.make (Stdlib.max 16 (2 * cap)) 0 in
@@ -347,7 +352,7 @@ let rescan t =
     end
   end
 
-let add t ~cell ~deadline ~seq =
+let[@alloc.zero] add t ~cell ~deadline ~seq =
   ensure_capacity t (cell + 1);
   if deadline < t.cur then invalid_arg "Timer_wheel.add: deadline before cursor";
   t.cell_at.(cell) <- deadline;
@@ -368,7 +373,7 @@ let next_seq t =
   if t.cardinal = 0 then invalid_arg "Timer_wheel.next_seq: empty wheel";
   t.min_seq
 
-let pop t =
+let[@alloc.zero] pop t =
   if t.cardinal = 0 then invalid_arg "Timer_wheel.pop: empty wheel";
   if not t.batch_active then build_batch t;
   let cell = t.batch.(t.batch_pos) in

@@ -1,0 +1,7 @@
+(* Allocates freely, but nothing here is reachable from the [@alloc.zero]
+   root: the checker must stay quiet outside the root cone. *)
+let build n = Array.make n (Some n)
+
+let unrelated xs = List.map (fun x -> x + 1) xs
+
+let[@alloc.zero] root n = n + 1

@@ -1,0 +1,7 @@
+(* Z1: a closure built inside an intermediate function reachable from the
+   [@alloc.zero] root — the finding's chain names the intermediate. *)
+let mid n =
+  let f = fun x -> x + n in
+  f n
+
+let[@alloc.zero] root n = mid n + 1

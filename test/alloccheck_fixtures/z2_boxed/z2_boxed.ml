@@ -1,0 +1,2 @@
+(* Z2: boxing the result into [Some] on the hot path. *)
+let[@alloc.zero] root x = if x > 0 then Some x else None

@@ -1,0 +1,4 @@
+(* Z3: bulk array construction, one call away from the root. *)
+let make n = Array.make n 0
+
+let[@alloc.zero] root n = Array.length (make n)

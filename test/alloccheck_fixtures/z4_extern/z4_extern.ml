@@ -1,0 +1,2 @@
+(* Z4: a call the checker cannot see through — a callback parameter. *)
+let[@alloc.zero] root cb = cb 0

@@ -58,10 +58,15 @@ let test_suppressed = check_findings [ fixture "allowed.ml" ] ~expected:[]
 let test_missing_reason =
   check_findings [ fixture "missing_reason.ml" ] ~expected:[ ("R1", 5); ("LINT", 5) ]
 
+let test_unknown_key =
+  (* A key no registered rule owns would suppress nothing — report the
+     suppression itself and keep the underlying finding. *)
+  check_findings [ fixture "unknown_key.ml" ] ~expected:[ ("R1", 5); ("LINT", 5) ]
+
 let test_whole_directory () =
   (* All fixtures at once: the per-file expectations above, via the same
      directory walk the dune @lint alias uses. *)
-  Alcotest.(check int) "total findings over lint_fixtures/" 26
+  Alcotest.(check int) "total findings over lint_fixtures/" 28
     (List.length (run [ "lint_fixtures" ]))
 
 let test_registry () =
@@ -91,6 +96,8 @@ let suites =
         Alcotest.test_case "[@lint.allow] suppresses with a reason" `Quick test_suppressed;
         Alcotest.test_case "[@lint.allow] without a reason is reported" `Quick
           test_missing_reason;
+        Alcotest.test_case "[@lint.allow] with an unknown rule key is reported" `Quick
+          test_unknown_key;
         Alcotest.test_case "directory walk finds every seeded violation" `Quick
           test_whole_directory;
         Alcotest.test_case "registry lists R1-R6 with unique keys" `Quick test_registry;

@@ -1,0 +1,8 @@
+(* ecfd-alloccheck's driver is the shared typed-pass driver
+   (Check_common.Cmt_driver) instantiated with the Z-rule registry and the
+   [@alloc.allow] suppression grammar — the same plumbing ecfd-analyze
+   runs on, from the same tools/check_common. *)
+
+let run roots =
+  Check_common.Cmt_driver.run ~attr_name:"alloc.allow" ~meta_rule:"ALLOC"
+    ~meta_key:"alloc" ~rules:Registry.all roots

@@ -1,0 +1,93 @@
+(* ecfd-alloccheck: the interprocedural zero-allocation checker for the
+   engine hot path.  The e20 harness measures minor words per event at
+   run time (bench/alloc_budget.json); this pass proves the complement
+   statically: starting from every value binding annotated [@alloc.zero]
+   it walks the call graph through the .cmt files dune already produced
+   and flags every reachable allocation site — closures and partial
+   applications (Z1), boxed values (Z2), bulk array/string/list
+   construction (Z3), and calls it cannot see through (Z4) — each with
+   the call chain that reaches it.
+
+     ecfd_alloccheck [--list-rules] [--json FILE] [--check-roots BUDGET] [DIR ...]
+
+   Scans every .cmt below the given directories (default: lib bench, like
+   ecfd-analyze), prints findings as "file:line: [RULE] message" and exits
+   non-zero if there are any.  With [--json FILE] the findings are also
+   written as a JSON array for CI artifacts.  With [--check-roots BUDGET]
+   the discovered [@alloc.zero] roots are additionally compared against
+   the "static_roots" list in the given alloc-budget JSON, so the static
+   and dynamic allocation gates cannot silently drift apart.  See
+   HACKING.md, "Allocation discipline (Z-rules)". *)
+
+open Alloccheck_core
+
+let usage () =
+  prerr_endline
+    "usage: ecfd_alloccheck [--list-rules] [--json FILE] [--check-roots BUDGET] \
+     [DIR ...]   (default dirs: lib bench)";
+  exit 2
+
+let list_rules () =
+  List.iter
+    (fun (r : Zrule.t) -> Printf.printf "%-4s %-12s %s\n" r.id r.key r.doc)
+    Registry.all;
+  print_string
+    "ALLOC alloc       a [@alloc.allow] attribute itself is malformed, lacks a \
+     reason, or names an unknown rule key\n\
+     CMT  cmt          a .cmt file below the scanned roots could not be read\n"
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.mem "--help" args || List.mem "-h" args then usage ();
+  if List.mem "--list-rules" args then begin
+    list_rules ();
+    exit 0
+  end;
+  let json_file = ref None in
+  let budget_file = ref None in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--json" :: file :: rest ->
+      json_file := Some file;
+      parse acc rest
+    | "--check-roots" :: file :: rest ->
+      budget_file := Some file;
+      parse acc rest
+    | ("--json" | "--check-roots") :: [] -> usage ()
+    | a :: rest ->
+      if String.length a > 0 && a.[0] = '-' then usage ();
+      parse (a :: acc) rest
+  in
+  let roots =
+    match parse [] args with
+    | [] -> Check_common.Cmt_source.default_roots
+    | roots -> roots
+  in
+  List.iter
+    (fun r ->
+      if not (Sys.file_exists r) then begin
+        Printf.eprintf "ecfd-alloccheck: no such file or directory: %s\n" r;
+        exit 2
+      end)
+    roots;
+  let findings, n_units = Driver.run roots in
+  if n_units = 0 then begin
+    Printf.eprintf
+      "ecfd-alloccheck: no .cmt files below %s — build first (dune build @all)\n"
+      (String.concat " " roots);
+    exit 2
+  end;
+  let drift =
+    match !budget_file with
+    | None -> []
+    | Some budget_file -> Roots_check.check ~budget_file roots
+  in
+  List.iter (fun line -> Printf.eprintf "ecfd-alloccheck: %s\n" line) drift;
+  let code =
+    Check_common.Report.emit ~tool:"ecfd-alloccheck" ?json:!json_file
+      ~clean_note:
+        (Printf.sprintf "%d rule(s) over %d unit(s) below %s"
+           (List.length Registry.all) n_units (String.concat " " roots))
+      findings
+  in
+  exit (if drift <> [] then 1 else code)

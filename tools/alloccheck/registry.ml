@@ -1,0 +1,33 @@
+(* The Z-rule registry — the one place a new allocation rule is added
+   (mirrors tools/analyze/registry.ml for the A-rules).  All four rules
+   are facets of the single interprocedural walk in walk.ml; each selects
+   its own findings so they can be listed, keyed and suppressed
+   independently. *)
+
+let z id key doc : Zrule.t =
+  {
+    id;
+    key;
+    doc;
+    run =
+      (fun index ->
+        List.filter
+          (fun (f : Check_common.Finding.t) -> String.equal f.rule id)
+          (Walk.findings index));
+  }
+
+let all : Zrule.t list =
+  [
+    z "Z1" "closure"
+      "closure or partial application on a zero-alloc path (hoist local functions \
+       to module level; apply fully)";
+    z "Z2" "boxed"
+      "boxed value on a zero-alloc path: constructor with arguments, tuple, \
+       record, variant payload, ref cell, lazy thunk, boxed float";
+    z "Z3" "bulk"
+      "bulk allocation on a zero-alloc path: array/string/bytes/list/buffer/format \
+       construction";
+    z "Z4" "extern"
+      "call the checker cannot see through: an unclassified external, or a \
+       statically-unknown function value (field, callback parameter)";
+  ]

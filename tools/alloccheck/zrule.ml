@@ -1,0 +1,11 @@
+(* The Z-rule registry's type: the shared typed-pass rule record
+   (Check_common.Trule), exactly as tools/analyze/arule.ml aliases it for
+   the A-rules.  Suppression ([@alloc.allow <key> "reason"]) and output
+   formatting are applied by the shared driver. *)
+
+type t = Check_common.Trule.t = {
+  id : string;  (** Printed in findings: [Z1], [Z2], ... *)
+  key : string;  (** Suppression key: [@alloc.allow <key> "reason"]. *)
+  doc : string;  (** One-line description for [--list-rules]. *)
+  run : Check_common.Index.t -> Check_common.Finding.t list;
+}

@@ -1,11 +1,12 @@
-(* The A-rule registry's type.  Every rule is whole-program: it sees the
-   full index (all loaded compilation units plus the value tables) and
-   returns findings.  Suppression ([@analyze.allow <key> "reason"]) and
-   output formatting are applied by the driver. *)
+(* The A-rule registry's type: the shared typed-pass rule record
+   (Check_common.Trule).  Every rule is whole-program: it sees the full
+   index (all loaded compilation units plus the value tables) and returns
+   findings.  Suppression ([@analyze.allow <key> "reason"]) and output
+   formatting are applied by the shared driver. *)
 
-type t = {
+type t = Check_common.Trule.t = {
   id : string;  (** Printed in findings: [A1], [A2], ... *)
   key : string;  (** Suppression key: [@analyze.allow <key> "reason"]. *)
   doc : string;  (** One-line description for [--list-rules]. *)
-  run : Index.t -> Check_common.Finding.t list;
+  run : Check_common.Index.t -> Check_common.Finding.t list;
 }

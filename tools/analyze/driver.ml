@@ -1,50 +1,10 @@
-(* .cmt discovery, loading, rule execution and suppression filtering for
-   ecfd-analyze.  Mirrors tools/lint/driver.ml: unreadable or
-   implementation-less .cmt handling is explicit ([CMT] findings for the
-   former) so a broken build input can never silently pass the analyzer. *)
+(* ecfd-analyze's driver is the shared typed-pass driver
+   (Check_common.Cmt_driver) instantiated with the A-rule registry and the
+   [@analyze.allow] suppression grammar.  The actual plumbing — .cmt
+   discovery/loading, index construction, suppression collection and
+   filtering — lives in tools/check_common and is shared with
+   ecfd-alloccheck. *)
 
-let load roots =
-  let cmts = Cmt_source.discover roots in
-  List.fold_left
-    (fun (sources, findings) cmt_path ->
-      match Cmt_source.load cmt_path with
-      | Ok (Some src) -> (src :: sources, findings)
-      | Ok None -> (sources, findings) (* no implementation: packs, aliases *)
-      | Error msg ->
-        ( sources,
-          {
-            Check_common.Finding.file = cmt_path;
-            line = 1;
-            col = 0;
-            offset = 0;
-            rule = "CMT";
-            key = "cmt";
-            msg = "unreadable .cmt: " ^ msg;
-          }
-          :: findings ))
-    ([], []) cmts
-  |> fun (sources, findings) -> (List.rev sources, findings)
-
-(* Run every registered A-rule over the .cmt files found below [roots].
-   Returns the surviving findings, sorted. *)
 let run roots =
-  let sources, load_findings = load roots in
-  let index = Index.build sources in
-  let suppressions =
-    List.map (fun (s : Cmt_source.t) -> (s.source_path, Tsuppress.collect s)) sources
-  in
-  let suppression_findings =
-    List.concat_map (fun (_, (s : Tsuppress.t)) -> s.findings) suppressions
-  in
-  let rule_findings = List.concat_map (fun (r : Arule.t) -> r.run index) Registry.all in
-  let surviving =
-    List.filter
-      (fun (f : Check_common.Finding.t) ->
-        match List.assoc_opt f.file suppressions with
-        | Some s -> not (Tsuppress.is_suppressed s f)
-        | None -> true)
-      rule_findings
-  in
-  ( List.sort_uniq Check_common.Finding.compare
-      (load_findings @ suppression_findings @ surviving),
-    List.length sources )
+  Check_common.Cmt_driver.run ~attr_name:"analyze.allow" ~meta_rule:"ANALYZE"
+    ~meta_key:"analyze" ~rules:Registry.all roots

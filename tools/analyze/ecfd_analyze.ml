@@ -49,7 +49,11 @@ let () =
       if String.length a > 0 && a.[0] = '-' then usage ();
       parse (a :: acc) rest
   in
-  let roots = match parse [] args with [] -> [ "lib"; "bench" ] | roots -> roots in
+  let roots =
+    match parse [] args with
+    | [] -> Check_common.Cmt_source.default_roots
+    | roots -> roots
+  in
   List.iter
     (fun r ->
       if not (Sys.file_exists r) then begin
@@ -64,17 +68,9 @@ let () =
       (String.concat " " roots);
     exit 2
   end;
-  (match !json_file with
-  | Some file ->
-    let oc = open_out file in
-    output_string oc (Check_common.Finding.list_to_json findings);
-    close_out oc
-  | None -> ());
-  List.iter (fun f -> print_endline (Check_common.Finding.to_string f)) findings;
-  match List.length findings with
-  | 0 ->
-    Printf.eprintf "ecfd-analyze: clean (%d rule(s) over %d unit(s) below %s)\n"
-      (List.length Registry.all) n_units (String.concat " " roots)
-  | n ->
-    Printf.eprintf "ecfd-analyze: %d finding(s)\n" n;
-    exit 1
+  exit
+    (Check_common.Report.emit ~tool:"ecfd-analyze" ?json:!json_file
+       ~clean_note:
+         (Printf.sprintf "%d rule(s) over %d unit(s) below %s"
+            (List.length Registry.all) n_units (String.concat " " roots))
+       findings)

@@ -19,8 +19,15 @@
    handled (the handler branches themselves are still scanned: a re-raise
    escapes). *)
 
+open Check_common
+
 let rule_id = "A2"
 let key = "raises"
+
+(* Marks a callback whose raise is a deliberate whole-run abort; checked
+   by this rule only, so it lives here rather than in the shared
+   suppression machinery. *)
+let may_raise_attr = "analyze.may_raise"
 
 let sinks = [ "set_timer"; "every"; "at"; "register" ]
 
@@ -69,7 +76,7 @@ let scan_escaping ~flag (body : Typedtree.expression) =
   go body
 
 let callback_exempt ~(index : Index.t) (cb : Typedtree.expression) =
-  let may_raise = Tsuppress.may_raise_attr in
+  let may_raise = may_raise_attr in
   if Tast_util.has_attr may_raise cb.exp_attributes then (None, true)
   else
     match cb.exp_desc with

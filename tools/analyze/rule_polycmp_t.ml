@@ -15,6 +15,8 @@
    eta-expansions of) a structural comparison joins the set, and its uses
    are then checked exactly like direct ones. *)
 
+open Check_common
+
 let rule_id = "A3"
 let key = "polycmp_t"
 

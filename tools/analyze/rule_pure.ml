@@ -30,6 +30,8 @@
    [par_map] degrades to in-place sequential execution by design, and all
    randomness is seeded.  The traversal does not descend into them. *)
 
+open Check_common
+
 let rule_id = "A1"
 let key = "pure"
 

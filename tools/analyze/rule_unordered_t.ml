@@ -10,6 +10,8 @@
    let-bound variable sorted later in the same body).  This is what keeps
    bucket order out of [Stats] snapshots and table rendering. *)
 
+open Check_common
+
 let rule_id = "A4"
 let key = "unordered_t"
 

@@ -26,12 +26,27 @@ let parse (attr : Parsetree.attribute) =
 
 (* Interpret one attribute named [attr_name] covering [span]: either a
    well-formed suppression span, or a finding (reported under [meta_rule],
-   "LINT" / "ANALYZE") describing why the attribute itself is broken. *)
-let classify ~attr_name ~meta_rule ~meta_key ~(span : Location.t)
+   "LINT" / "ANALYZE" / "ALLOC") describing why the attribute itself is
+   broken.  [known_keys] is the pass's registered rule keys: an allow
+   naming any other key is rejected rather than silently ignored — a
+   typoed key used to produce a span that could never match a finding,
+   i.e. a suppression that suppressed nothing without telling anyone. *)
+let classify ~attr_name ~meta_rule ~meta_key ~known_keys ~(span : Location.t)
     (attr : Parsetree.attribute) =
   if not (String.equal attr.attr_name.txt attr_name) then None
   else
     match parse attr with
+    | Some (key, Some _) when not (List.mem key known_keys) ->
+      Some
+        (Error
+           (Finding.of_loc ~rule:meta_rule ~key:meta_key
+              ~msg:
+                (Printf.sprintf
+                   "[@%s %s]: unknown rule key %S (known: %s) — a suppression \
+                    naming no registered rule suppresses nothing"
+                   attr_name key key
+                   (String.concat ", " (List.sort String.compare known_keys)))
+              attr.attr_loc))
     | Some (key, Some reason) when String.trim reason <> "" ->
       Some
         (Ok { key; left = span.loc_start.pos_cnum; right = span.loc_end.pos_cnum })

@@ -1,0 +1,55 @@
+(* The one driver for typed whole-program passes (.cmt discovery, loading,
+   index construction, rule execution, suppression filtering), shared by
+   ecfd-analyze and ecfd-alloccheck.  Each pass supplies only its
+   suppression-attribute name, its meta rule ("ANALYZE" / "ALLOC") and its
+   rule list; unreadable or implementation-less .cmt handling is explicit
+   ([CMT] findings for the former) so a broken build input can never
+   silently pass a checker. *)
+
+let load roots =
+  let cmts = Cmt_source.discover roots in
+  List.fold_left
+    (fun (sources, findings) cmt_path ->
+      match Cmt_source.load cmt_path with
+      | Ok (Some src) -> (src :: sources, findings)
+      | Ok None -> (sources, findings) (* no implementation: packs, aliases *)
+      | Error msg ->
+        ( sources,
+          {
+            Finding.file = cmt_path;
+            line = 1;
+            col = 0;
+            offset = 0;
+            rule = "CMT";
+            key = "cmt";
+            msg = "unreadable .cmt: " ^ msg;
+          }
+          :: findings ))
+    ([], []) cmts
+  |> fun (sources, findings) -> (List.rev sources, findings)
+
+(* Run every rule of one pass over the .cmt files found below [roots].
+   Returns the surviving findings, sorted, plus the unit count (so the
+   CLIs can refuse to bless an empty scan). *)
+let run ~attr_name ~meta_rule ~meta_key ~(rules : Trule.t list) roots =
+  let known_keys = List.map (fun (r : Trule.t) -> r.key) rules in
+  let sources, load_findings = load roots in
+  let index = Index.build sources in
+  let suppressions =
+    List.map
+      (fun (s : Cmt_source.t) ->
+        (s.source_path, Tsuppress.collect ~attr_name ~meta_rule ~meta_key ~known_keys s))
+      sources
+  in
+  let meta_findings =
+    load_findings
+    @ List.concat_map (fun (_, (s : Tsuppress.t)) -> s.findings) suppressions
+  in
+  let rule_findings = List.concat_map (fun (r : Trule.t) -> r.run index) rules in
+  let spans_for_file file =
+    match List.assoc_opt file suppressions with
+    | Some (s : Tsuppress.t) -> s.spans
+    | None -> []
+  in
+  ( Pipeline.finalize ~spans_for_file ~meta_findings rule_findings,
+    List.length sources )

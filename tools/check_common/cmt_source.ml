@@ -1,7 +1,14 @@
 (* Loading the typed tree of one compilation unit from the .cmt file dune
    already produces (the [-bin-annot] output).  Locations inside a .cmt are
    relative to the build root ("lib/sim/engine.ml"), which is exactly what
-   we want to print. *)
+   we want to print.  Shared by every typed pass (ecfd-analyze,
+   ecfd-alloccheck). *)
+
+(* The one place the .cmt search roots are defined: every typed pass
+   (ecfd-analyze, ecfd-alloccheck) scans the same build trees by default,
+   so extending coverage (tools/, test/) later is a one-line change here
+   rather than a per-tool drift hazard. *)
+let default_roots = [ "lib"; "bench" ]
 
 type t = {
   cmt_path : string;  (** The .cmt we loaded. *)

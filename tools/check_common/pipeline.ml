@@ -1,0 +1,13 @@
+(* The tail every pass's driver used to duplicate: drop rule findings
+   that fall inside a matching suppression span, then merge with the
+   pass's meta findings (parse/cmt failures, malformed or unknown-key
+   allow attributes — which deliberately bypass suppression: a broken
+   suppression must not be able to hide itself) and sort. *)
+
+let finalize ~spans_for_file ~meta_findings rule_findings =
+  let surviving =
+    List.filter
+      (fun (f : Finding.t) -> not (Allow_payload.covers (spans_for_file f.Finding.file) f))
+      rule_findings
+  in
+  List.sort_uniq Finding.compare (meta_findings @ surviving)

@@ -1,0 +1,21 @@
+(* The shared CLI epilogue: findings to stdout ("file:line: [RULE] msg"),
+   optional machine-readable JSON side file for CI artifacts (an empty
+   array on a clean pass), clean/failure note to stderr.  Returns the
+   process exit code so all three passes (ecfd-lint, ecfd-analyze,
+   ecfd-alloccheck) print, serialize and fail identically. *)
+
+let write_json file findings =
+  let oc = open_out file in
+  output_string oc (Finding.list_to_json findings);
+  close_out oc
+
+let emit ~tool ?json ~clean_note findings =
+  (match json with Some file -> write_json file findings | None -> ());
+  List.iter (fun f -> print_endline (Finding.to_string f)) findings;
+  match List.length findings with
+  | 0 ->
+    Printf.eprintf "%s: clean (%s)\n" tool clean_note;
+    0
+  | n ->
+    Printf.eprintf "%s: %d finding(s)\n" tool n;
+    1

@@ -59,8 +59,11 @@ let run roots =
   in
   let sources = List.rev sources in
   let project = { Rules.sources; mls; mlis } in
+  let known_keys = List.map (fun (r : Rules.t) -> r.key) Registry.all in
   let suppressions =
-    List.map (fun (src : Rules.source) -> (src.path, Suppress.collect src)) sources
+    List.map
+      (fun (src : Rules.source) -> (src.path, Suppress.collect ~known_keys src))
+      sources
   in
   let suppression_findings =
     List.concat_map (fun (_, (s : Suppress.t)) -> s.findings) suppressions
@@ -73,12 +76,11 @@ let run roots =
         | Project check -> check project)
       Registry.all
   in
-  let surviving =
-    List.filter
-      (fun (f : Finding.t) ->
-        match List.assoc_opt f.file suppressions with
-        | Some s -> not (Suppress.is_suppressed s f)
-        | None -> true)
-      rule_findings
+  let spans_for_file file =
+    match List.assoc_opt file suppressions with
+    | Some (s : Suppress.t) -> s.spans
+    | None -> []
   in
-  List.sort_uniq Finding.compare (parse_findings @ suppression_findings @ surviving)
+  Check_common.Pipeline.finalize ~spans_for_file
+    ~meta_findings:(parse_findings @ suppression_findings)
+    rule_findings

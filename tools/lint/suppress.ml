@@ -12,14 +12,14 @@ type t = { spans : Check_common.Allow_payload.span list; findings : Finding.t li
 
 let attr_name = "lint.allow"
 
-let collect (src : Rules.source) =
+let collect ~known_keys (src : Rules.source) =
   let spans = ref [] and findings = ref [] in
   let note_attrs ~(span : Location.t) (attrs : Parsetree.attributes) =
     List.iter
       (fun (attr : Parsetree.attribute) ->
         match
           Check_common.Allow_payload.classify ~attr_name ~meta_rule:"LINT"
-            ~meta_key:"lint" ~span attr
+            ~meta_key:"lint" ~known_keys ~span attr
         with
         | None -> ()
         | Some (Ok span) -> spans := span :: !spans
