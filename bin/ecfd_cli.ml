@@ -18,6 +18,16 @@ let seed_arg =
   let doc = "Simulation seed (runs are deterministic per seed)." in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let shards_arg =
+  let doc =
+    "Engine shards: 1 = sequential, $(docv) >= 2 advances processes in parallel \
+     conservative time windows (default: \\$(b,ECFD_SHARDS) or 1).  The output is \
+     byte-identical at every value."
+  in
+  Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"K" ~doc)
+
+let apply_shards shards = Option.iter Sim.Shard.set_default_shards shards
+
 let gst_arg =
   let doc = "Global stabilisation time: before it, delays are unbounded-looking." in
   Arg.(value & opt int 0 & info [ "gst" ] ~docv:"T" ~doc)
@@ -126,7 +136,8 @@ let print_matrix run =
 (* --- fd subcommand --- *)
 
 let fd_cmd =
-  let run detector n seed gst delta horizon crashes verbose timeline dump =
+  let run detector n seed gst delta horizon crashes verbose timeline dump shards =
+    apply_shards shards;
     let schedule = Sim.Fault.crashes crashes in
     let detector = to_detector ~schedule detector in
     let _, run, stats =
@@ -157,7 +168,7 @@ let fd_cmd =
           & opt detector_conv `Ec_from_leader
           & info [ "detector"; "d" ] ~docv:"DETECTOR" ~doc:"Which detector to install.")
       $ n_arg $ seed_arg $ gst_arg $ delta_arg $ horizon_arg $ crashes_arg $ verbose_arg
-      $ timeline_arg $ dump_trace_arg)
+      $ timeline_arg $ dump_trace_arg $ shards_arg)
 
 (* --- consensus subcommand --- *)
 
@@ -168,7 +179,8 @@ let protocol_conv =
     ]
 
 let consensus_cmd =
-  let run protocol detector n seed gst delta horizon crashes verbose timeline dump =
+  let run protocol detector n seed gst delta horizon crashes verbose timeline dump shards =
+    apply_shards shards;
     let schedule = Sim.Fault.crashes crashes in
     let detector = to_detector ~schedule detector in
     let protocol =
@@ -239,12 +251,13 @@ let consensus_cmd =
           & opt detector_conv `Ec_from_leader
           & info [ "detector"; "d" ] ~docv:"DETECTOR" ~doc:"Which detector to install.")
       $ n_arg $ seed_arg $ gst_arg $ delta_arg $ horizon_arg $ crashes_arg $ verbose_arg
-      $ timeline_arg $ dump_trace_arg)
+      $ timeline_arg $ dump_trace_arg $ shards_arg)
 
 (* --- transform subcommand --- *)
 
 let transform_cmd =
-  let run n seed gst delta horizon crashes piggyback =
+  let run n seed gst delta horizon crashes piggyback shards =
+    apply_shards shards;
     let schedule = Sim.Fault.crashes crashes in
     let engine = Scenario.engine ~net:(net ~seed ~gst ~delta) ~n () in
     Sim.Fault.apply engine schedule;
@@ -277,12 +290,14 @@ let transform_cmd =
       $ Arg.(
           value & flag
           & info [ "piggyback" ]
-              ~doc:"Ride the suspect lists on the underlying detector's heartbeats."))
+              ~doc:"Ride the suspect lists on the underlying detector's heartbeats.")
+      $ shards_arg)
 
 (* --- trace subcommand --- *)
 
 let trace_cmd =
-  let run protocol detector n seed gst delta horizon crashes format out =
+  let run protocol detector n seed gst delta horizon crashes format out shards =
+    apply_shards shards;
     let schedule = Sim.Fault.crashes crashes in
     let detector = to_detector ~schedule detector in
     let protocol =
@@ -337,13 +352,15 @@ let trace_cmd =
       $ Arg.(
           value
           & opt (some string) None
-          & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write to $(docv) instead of stdout."))
+          & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write to $(docv) instead of stdout.")
+      $ shards_arg)
 
 (* --- sweep subcommand --- *)
 
 let sweep_cmd =
-  let run protocol detector param values seeds n delta horizon domains =
+  let run protocol detector param values seeds n delta horizon domains shards =
     Option.iter Exec.Pool.set_default_domains domains;
+    apply_shards shards;
     let protocol =
       match protocol with
       | `Ec -> Scenario.Ec Ecfd.Ec_consensus.default_params
@@ -440,7 +457,8 @@ let sweep_cmd =
               ~doc:
                 "Worker domains for the sweep grid (default: \\$(b,ECFD_DOMAINS) or the \
                  machine's recommended count, capped at 8; 1 = sequential).  The output is \
-                 identical at every value."))
+                 identical at every value.")
+      $ shards_arg)
 
 let main =
   let doc = "Eventually consistent failure detectors (Larrea, Fernández, Arévalo) — simulator" in

@@ -29,11 +29,36 @@
 
 type t
 
-val create : ?seed:int -> n:int -> link:Link.t -> unit -> t
-(** [n >= 1] processes, all initially alive, clock at 0. *)
+val create : ?seed:int -> ?shards:int -> n:int -> link:Link.t -> unit -> t
+(** [n >= 1] processes, all initially alive, clock at 0.
+
+    [shards] selects the execution back-end (default
+    {!Shard.default_shards}, i.e. the [--shards]/[ECFD_SHARDS] switch,
+    falling back to 1): 1 runs the sequential engine; [k >= 2] partitions
+    processes across [k] shards ([pid mod k]) advanced in parallel inside
+    conservative time windows bounded by the link's
+    {!Link.min_delay_bound} lookahead (see {!Shard}).  Observable output
+    — trace bytes, stats, obs snapshots — is byte-identical at every
+    shard count; [k] is clamped to [n].  With [k >= 2],
+    {!at}/{!schedule_crash}/{!register} are forbidden from inside
+    component callbacks running in a parallel window, and timers and
+    self-sends may only target the executing shard's own processes
+    (harness code between windows is unrestricted). *)
 
 val n : t -> int
 val now : t -> Sim_time.t
+
+val shard_count : t -> int
+(** 1 for the sequential back-end. *)
+
+val window_stats : t -> int * int * int * int
+(** [(windows, null_windows, direct_steps, shard_windows)] of the sharded
+    back-end — all zero sequentially.  Null windows had at most one
+    active shard (no parallelism); direct steps are one-event sequential
+    steps forced by zero lookahead or a due global event;
+    [shard_windows] counts (window, active shard) pairs.  Experiment e21
+    derives window count and null-window fraction from these. *)
+
 val trace : t -> Trace.t
 val stats : t -> Stats.t
 

@@ -11,7 +11,12 @@ type envelope = {
   tag : string;
   payload : t;
   sent_at : Sim_time.t;
-  msg : int;  (** Engine-allocated message id shared by the Send/Deliver/Drop trace events; [-1] for local self-sends, which are not traced. *)
+  mutable msg : int;
+      (** Engine-allocated message id shared by the Send/Deliver/Drop trace
+          events; [-1] for local self-sends, which are not traced.  Mutable
+          only for the sharded engine's barrier reconciliation, which stamps
+          the globally ordered id onto envelopes buffered during a parallel
+          window; the sequential engine never mutates it. *)
 }
 
 let pp_envelope ppf e =

@@ -17,10 +17,13 @@ type envelope = {
   tag : string;        (** Human-readable message kind, for traces and stats. *)
   payload : t;
   sent_at : Sim_time.t;
-  msg : int;
+  mutable msg : int;
       (** Engine-allocated message id shared by the Send/Deliver/Drop trace
           events of this message; [-1] for local self-sends, which are not
-          traced. *)
+          traced.  Mutable only for the sharded engine's barrier
+          reconciliation, which stamps the globally ordered id onto
+          envelopes buffered during a parallel window; the sequential
+          engine never mutates it. *)
 }
 
 val pp_envelope : Format.formatter -> envelope -> unit

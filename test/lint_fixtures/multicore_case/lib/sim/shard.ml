@@ -1,0 +1,4 @@
+(* R1 fixture: lib/sim/shard.ml — the shard barrier module — may use
+   Domain.DLS to route worker-domain effects into replay buffers. *)
+let ctx = Domain.DLS.new_key (fun () -> 0)
+let probe () = Domain.DLS.get ctx

@@ -1,0 +1,3 @@
+(* Interface stub so this fixture only exercises R1's shard exemption. *)
+val ctx : int Domain.DLS.key
+val probe : unit -> int

@@ -1,0 +1,4 @@
+(* R1 fixture: the shard exemption is the exact path lib/sim/shard.ml —
+   any other lib/sim/ file touching multicore primitives is still flagged. *)
+let key = Domain.DLS.new_key (fun () -> 0)
+let guard = Mutex.create ()

@@ -1,0 +1,3 @@
+(* Interface stub so this fixture only seeds R1 findings, not R5. *)
+val key : int Domain.DLS.key
+val guard : Mutex.t

@@ -1,0 +1,275 @@
+(* Sharded-engine determinism: the conservative parallel back-end must be
+   byte-identical to the sequential engine at every shard count — same
+   trace (bodies, order, Lamport clocks, message/span ids), same stats
+   lifecycle and high-water trajectories, same obs snapshot, same
+   timer-table capacity.  These tests run the same workload at K = 1
+   (exact sequential path) and K in {2, 4} and compare the rendered
+   outputs verbatim, plus unit tests for the window machinery: lookahead
+   fallback, cross-shard ties at window boundaries, and mailbox exchange
+   ordering. *)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let render_trace trace =
+  let buf = Buffer.create 4096 in
+  Sim.Trace.iter trace (fun e ->
+      Buffer.add_string buf (Format.asprintf "%a@." Sim.Trace.pp_event e));
+  Buffer.contents buf
+
+(* Everything observable, as one string: trace bytes, stats lifecycle,
+   per-component counters, obs snapshot JSON, timer-table capacity. *)
+let fingerprint engine =
+  let lc = Sim.Stats.lifecycle (Sim.Engine.stats engine) in
+  Format.asprintf "%s@.lifecycle: %a@.stats: %s@.obs: %s@.capacity: %d pending: %d@."
+    (render_trace (Sim.Engine.trace engine))
+    Sim.Stats.pp_lifecycle lc
+    (String.concat ";"
+       (List.map
+          (fun (c, tag, (v : Sim.Stats.counts)) ->
+            Printf.sprintf "%s/%s=%d,%d,%d" c tag v.sent v.delivered v.dropped)
+          (Sim.Stats.snapshot (Sim.Engine.stats engine))))
+    (Obs.Registry.json_of_snapshot (Obs.Registry.snapshot (Sim.Engine.obs engine)))
+    (Sim.Engine.timer_table_capacity engine)
+    (Sim.Engine.pending_events engine)
+
+(* The E1-E4-style workload: full consensus stack (eventually consistent
+   detector, reliable broadcast, EC consensus) over a jittery reliable
+   link, with a mid-run crash — messages, timers, cancellations, spans,
+   fd views and notes all exercised. *)
+let run_consensus ~shards ~seed ~n ~horizon =
+  let link = Sim.Link.reliable ~min_delay:1 ~max_delay:6 () in
+  let engine = Sim.Engine.create ~seed ~shards ~n ~link () in
+  let fd = Scenario.install_detector engine Scenario.Ec_from_leader in
+  let rb = Broadcast.Reliable_broadcast.create engine in
+  let instance =
+    Ecfd.Ec_consensus.install engine ~fd ~rb Ecfd.Ec_consensus.default_params
+  in
+  List.iter (fun p -> instance.Consensus.Instance.propose p (100 + p)) (Sim.Pid.all ~n);
+  Sim.Engine.schedule_crash engine (n - 1) ~at:(200 + (seed mod 97));
+  Sim.Engine.run_until engine horizon;
+  engine
+
+let check_identical name ~shards run =
+  let seq = fingerprint (run ~shards:1) in
+  let sharded = fingerprint (run ~shards) in
+  Alcotest.(check string) name seq sharded
+
+let shard_tests =
+  [
+    tc "consensus run identical at K=2 and K=4" (fun () ->
+        List.iter
+          (fun shards ->
+            check_identical
+              (Printf.sprintf "K=%d byte-identical" shards)
+              ~shards
+              (fun ~shards -> run_consensus ~shards ~seed:42 ~n:5 ~horizon:4000))
+          [ 2; 4 ]);
+    tc "sharded traces keep causally consistent stamps" (fun () ->
+        (* Independent of the byte-compare: the replayed seq/lc stamps must
+           satisfy the Spec-layer clock conditions (dense seq, per-process
+           monotone Lamport clocks, send-before-deliver across shards). *)
+        List.iter
+          (fun shards ->
+            let engine = run_consensus ~shards ~seed:12 ~n:6 ~horizon:4000 in
+            let violations = Spec.Clock_props.check (Sim.Engine.trace engine) in
+            Alcotest.(check int)
+              (Printf.sprintf "K=%d: %s" shards
+                 (String.concat "; "
+                    (List.map
+                       (Format.asprintf "%a" Spec.Clock_props.pp_violation)
+                       violations)))
+              0 (List.length violations))
+          [ 1; 2; 4 ]);
+    tc "K=1 takes the sequential path" (fun () ->
+        let engine = run_consensus ~shards:1 ~seed:7 ~n:4 ~horizon:1000 in
+        Alcotest.(check int) "shard_count" 1 (Sim.Engine.shard_count engine);
+        let w, nw, d, sw = Sim.Engine.window_stats engine in
+        Alcotest.(check (list int)) "no window machinery" [ 0; 0; 0; 0 ] [ w; nw; d; sw ]);
+    tc "parallel windows actually open at K>1 with positive lookahead" (fun () ->
+        let engine = run_consensus ~shards:4 ~seed:11 ~n:6 ~horizon:4000 in
+        Alcotest.(check int) "shard_count" 4 (Sim.Engine.shard_count engine);
+        let w, _, _, _ = Sim.Engine.window_stats engine in
+        Alcotest.(check bool) (Printf.sprintf "windows opened (%d)" w) true (w > 0));
+    Test_util.qcheck ~count:16 ~name:"sharded trace bytes equal sequential (16+ seeds)"
+      QCheck2.Gen.(tup3 (int_range 0 10_000) (int_range 3 6) (oneofl [ 2; 4 ]))
+      (fun (seed, n, shards) ->
+        let run ~shards = run_consensus ~shards ~seed ~n ~horizon:3000 in
+        Test_util.bool_law
+          (Printf.sprintf "seed=%d n=%d K=%d" seed n shards)
+          (String.equal (fingerprint (run ~shards:1)) (fingerprint (run ~shards))));
+  ]
+
+(* -- window computation unit tests --------------------------------------- *)
+
+(* A ping-pong workload with per-pid periodic timers: every process
+   broadcasts on a shared period, so shards hit the same instants —
+   cross-shard ties at window boundaries on every beat. *)
+let run_pingpong ~shards ~link ~n ~horizon =
+  let engine = Sim.Engine.create ~seed:3 ~shards ~n ~link () in
+  let component = "pingpong" in
+  List.iter
+    (fun p ->
+      Sim.Engine.register engine ~component p (fun ~src _payload ->
+          (* Reply to the first ping each beat: deliveries trigger sends
+             inside windows. *)
+          if src < p then
+            Sim.Engine.send engine ~component ~tag:"pong" ~src:p ~dst:src
+              Sim.Payload.Blank))
+    (Sim.Pid.all ~n);
+  List.iter
+    (fun p ->
+      ignore
+        (Sim.Engine.every engine p ~phase:(1 + p) ~period:3 (fun () ->
+             List.iter
+               (fun dst ->
+                 Sim.Engine.send engine ~component ~tag:"ping" ~src:p ~dst
+                   Sim.Payload.Blank)
+               (Sim.Pid.others ~n p))
+          : unit -> unit))
+    (Sim.Pid.all ~n);
+  Sim.Engine.run_until engine horizon;
+  engine
+
+let window_tests =
+  [
+    tc "zero lookahead falls back to sequential merge (direct steps only)" (fun () ->
+        let link = Sim.Link.reliable ~min_delay:0 ~max_delay:4 () in
+        let run ~shards = run_pingpong ~shards ~link ~n:4 ~horizon:200 in
+        let engine = run ~shards:2 in
+        let w, _, d, _ = Sim.Engine.window_stats engine in
+        Alcotest.(check int) "no windows at L=0" 0 w;
+        Alcotest.(check bool) (Printf.sprintf "direct steps taken (%d)" d) true (d > 0);
+        check_identical "L=0 still byte-identical" ~shards:2 run);
+    tc "cross-shard ties at the window boundary keep sequential order" (fun () ->
+        (* Synchronous delay 2 = lookahead 2; period-3 beats on every pid
+           put same-instant events in every shard, and deliveries land
+           exactly on window boundaries. *)
+        let link = Sim.Link.synchronous ~delay:2 in
+        let run ~shards = run_pingpong ~shards ~link ~n:4 ~horizon:300 in
+        let engine = run ~shards:2 in
+        let w, _, _, _ = Sim.Engine.window_stats engine in
+        Alcotest.(check bool) (Printf.sprintf "windows opened (%d)" w) true (w > 0);
+        check_identical "boundary ties byte-identical" ~shards:2 run;
+        check_identical "same at K=4 (ragged shards)" ~shards:4 run);
+    tc "window statistics are consistent" (fun () ->
+        let engine =
+          run_pingpong ~shards:2 ~link:(Sim.Link.synchronous ~delay:2) ~n:4 ~horizon:300
+        in
+        let w, nw, d, sw = Sim.Engine.window_stats engine in
+        Alcotest.(check bool) "null windows <= windows" true (nw <= w);
+        Alcotest.(check bool) "every window has >= 1 active shard" true (sw >= w);
+        Alcotest.(check bool) "active shards bounded by K per window" true (sw <= 2 * w);
+        Alcotest.(check bool) "some direct or window progress" true (d + w > 0));
+  ]
+
+(* -- mailbox exchange ordering -------------------------------------------- *)
+
+let mailbox_tests =
+  [
+    tc "cross-shard mailbox flush preserves sequential delivery order" (fun () ->
+        (* p0 (shard 0) bursts three tagged messages to p1 (shard 1) from
+           inside a timer callback (so the sends are window-buffered);
+           with a synchronous link they deliver at the same instant and
+           only the reconciled global seqs order them. *)
+        let component = "burst" in
+        let tags_of engine =
+          let tags = ref [] in
+          Sim.Trace.iter (Sim.Engine.trace engine) (fun e ->
+              match e.Sim.Trace.body with
+              | Sim.Trace.Deliver { tag; _ } -> tags := tag :: !tags
+              | _ -> ());
+          List.rev !tags
+        in
+        let run ~shards =
+          let engine =
+            Sim.Engine.create ~seed:9 ~shards ~n:4 ~link:(Sim.Link.synchronous ~delay:2) ()
+          in
+          List.iter
+            (fun p ->
+              Sim.Engine.register engine ~component p (fun ~src:_ _payload -> ()))
+            (Sim.Pid.all ~n:4);
+          List.iter
+            (fun p ->
+              ignore
+                (Sim.Engine.every engine p ~phase:(1 + (p mod 2)) ~period:4 (fun () ->
+                     List.iter
+                       (fun tag ->
+                         Sim.Engine.send engine ~component ~tag ~src:p
+                           ~dst:((p + 1) mod 4) Sim.Payload.Blank)
+                       [ "a"; "b"; "c" ])
+                  : unit -> unit))
+            (Sim.Pid.all ~n:4);
+          Sim.Engine.run_until engine 100;
+          engine
+        in
+        let seq_engine = run ~shards:1 in
+        let sh_engine = run ~shards:2 in
+        let w, _, _, _ = Sim.Engine.window_stats sh_engine in
+        Alcotest.(check bool) (Printf.sprintf "windows opened (%d)" w) true (w > 0);
+        Alcotest.(check (list string))
+          "delivery tag order identical" (tags_of seq_engine) (tags_of sh_engine);
+        Alcotest.(check string) "full fingerprint identical" (fingerprint seq_engine)
+          (fingerprint sh_engine));
+    tc "delivery latency histogram records message latencies" (fun () ->
+        (* Guard for the churn-bench fix: a workload that does deliver
+           messages must show non-zero delivery_latency counts, in both
+           back-ends. *)
+        List.iter
+          (fun shards ->
+            let engine =
+              run_pingpong ~shards ~link:(Sim.Link.synchronous ~delay:2) ~n:4 ~horizon:60
+            in
+            let snap = Obs.Registry.snapshot (Sim.Engine.obs engine) in
+            let count =
+              match List.assoc_opt "engine.delivery_latency" snap with
+              | Some (Obs.Registry.Histogram { count; _ }) -> count
+              | _ -> 0
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "K=%d delivery_latency count > 0 (%d)" shards count)
+              true (count > 0))
+          [ 1; 2 ]);
+  ]
+
+(* -- in-window restrictions ----------------------------------------------- *)
+
+let restriction_tests =
+  [
+    tc "Engine.at from inside a parallel window is rejected" (fun () ->
+        let engine =
+          Sim.Engine.create ~seed:1 ~shards:2 ~n:4 ~link:(Sim.Link.synchronous ~delay:2) ()
+        in
+        List.iter
+          (fun p ->
+            ignore
+              (Sim.Engine.every engine p ~phase:1 ~period:2 (fun () ->
+                   Sim.Engine.at engine 50 (fun () -> ()))
+                : unit -> unit))
+          (Sim.Pid.all ~n:4);
+        Alcotest.check_raises "invalid_arg"
+          (Invalid_argument "Engine.at: forbidden inside a parallel window") (fun () ->
+            Sim.Engine.run_until engine 40));
+    tc "with_shards scopes the default shard count" (fun () ->
+        Sim.Shard.with_shards 4 (fun () ->
+            let engine =
+              Sim.Engine.create ~seed:1 ~n:8 ~link:(Sim.Link.synchronous ~delay:1) ()
+            in
+            Alcotest.(check int) "default picked up" 4 (Sim.Engine.shard_count engine));
+        let engine =
+          Sim.Engine.create ~seed:1 ~n:8 ~link:(Sim.Link.synchronous ~delay:1) ()
+        in
+        Alcotest.(check int) "restored" 1 (Sim.Engine.shard_count engine));
+    tc "shard count clamps to n" (fun () ->
+        let engine =
+          Sim.Engine.create ~seed:1 ~shards:8 ~n:3 ~link:(Sim.Link.synchronous ~delay:1) ()
+        in
+        Alcotest.(check int) "clamped" 3 (Sim.Engine.shard_count engine));
+  ]
+
+let suites =
+  [
+    ("shard.determinism", shard_tests);
+    ("shard.windows", window_tests);
+    ("shard.mailboxes", mailbox_tests);
+    ("shard.restrictions", restriction_tests);
+  ]

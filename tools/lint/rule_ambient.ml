@@ -25,7 +25,19 @@ let exempt_file path =
   || String.length normalized > String.length "/lib/sim/rng.ml"
      && Filename.check_suffix normalized "/lib/sim/rng.ml"
 
-(* The one directory allowed to touch Domain/Atomic/Mutex. *)
+(* Where Domain/Atomic/Mutex are allowed: the job pool directory, plus —
+   by exact path, like the rng exemption above — the sharded engine's
+   barrier module, which needs [Domain.DLS] to route trace/obs effects
+   from worker domains into per-shard replay buffers.  Everything else in
+   lib/sim/ stays banned: shard.ml confines its parallelism behind
+   Exec.Pool barriers and replays effects deterministically, which no
+   other simulator module is structured to do. *)
+let multicore_exempt_file path =
+  let normalized = String.concat "/" (String.split_on_char '\\' path) in
+  normalized = "lib/sim/shard.ml"
+  || String.length normalized > String.length "/lib/sim/shard.ml"
+     && Filename.check_suffix normalized "/lib/sim/shard.ml"
+
 let in_exec_pool path =
   let rec scan = function
     | "lib" :: "exec" :: _ -> true
@@ -33,6 +45,7 @@ let in_exec_pool path =
     | [] -> false
   in
   scan (String.split_on_char '/' path)
+  || multicore_exempt_file path
 
 let multicore_roots = [ "Domain"; "Atomic"; "Mutex" ]
 
@@ -110,6 +123,6 @@ let rule : Rules.t =
     doc =
       "no ambient nondeterminism: Stdlib.Random, Unix.time/gettimeofday, Sys.time and \
        Hashtbl.create ~random are banned outside lib/sim/rng.ml; Domain/Atomic/Mutex \
-       are banned outside lib/exec/";
+       are banned outside lib/exec/ and the shard barrier module lib/sim/shard.ml";
     scope = File check;
   }
