@@ -28,7 +28,13 @@ let env_domains () =
     | Some _ | None -> None)
 
 let default_domains () =
-  match !default_override with
+  match
+    (!default_override
+    [@race.allow publish
+        "written only by the coordinator between runs (set_default_domains / \
+         with_domains); Domain.spawn publishes the value to workers, and a \
+         nested run inside a worker only reads it"])
+  with
   | Some d -> d
   | None -> (
     match env_domains () with Some d -> d | None -> recommended_domains ())
@@ -76,7 +82,13 @@ let metrics () =
 let in_worker = Domain.DLS.new_key (fun () -> false)
 
 let execute job =
-  match job () with
+  match
+    (job ()
+    [@race.allow escape
+        "executing foreign job code is the pool's purpose; the determinism \
+         contract (pool.mli) requires jobs to be pure functions of their \
+         closure, and ecfd-analyze A1 checks every closure that flows in"])
+  with
   | v -> Ok v
   | exception e -> Error (e, Printexc.get_raw_backtrace ())
 
@@ -125,8 +137,18 @@ let run ?domains jobs =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
           let t0 = wall () in
-          let outcome = execute jobs.(i) in
-          results.(i) <- Some (outcome, wall () -. t0);
+          let outcome =
+            execute
+              (jobs.(i)
+              [@race.allow publish
+                  "the jobs array is built before Domain.spawn and never \
+                   written afterwards; the spawn is the publication barrier"])
+          in
+          (results.(i) <- Some (outcome, wall () -. t0))
+          [@race.allow escape
+              "index-partitioned: the atomic counter hands each slot to \
+               exactly one worker, and the coordinator reads results only \
+               after Domain.join"];
           loop ()
         end
       in
@@ -141,8 +163,14 @@ let run ?domains jobs =
         (fun acc slot -> match slot with Some (_, d) -> acc +. d | None -> acc)
         0.0 results
     in
-    incr acc_runs;
-    acc_jobs := !acc_jobs + n;
-    acc_busy := !acc_busy +. busy;
-    acc_wall := !acc_wall +. (wall () -. t_start);
+    (incr acc_runs;
+     acc_jobs := !acc_jobs + n;
+     acc_busy := !acc_busy +. busy;
+     acc_wall := !acc_wall +. (wall () -. t_start))
+    [@race.allow escape
+        "coordinator-only accounting: this branch is unreachable from a \
+         worker (the in_worker guard routes nested runs to run_nested), and \
+         it executes after every worker has been joined"]
+    [@race.allow publish
+        "same join barrier: no worker is alive to race the read-modify-write"];
     collect results

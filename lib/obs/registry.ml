@@ -133,19 +133,13 @@ let add c k =
   match c.c_hook.hook with
   | None -> add_direct c k
   | Some f ->
-    (if not (f (Op_add (c, k))) then add_direct c k)
-    [@alloc.allow extern
-        "sharded-window capture: op boxing happens only with a hook installed, i.e. \
-         inside a parallel window, never on the sequential hot path"]
+    if not (f (Op_add (c, k))) then add_direct c k
 
 let set g v =
   match g.g_hook.hook with
   | None -> set_direct g v
   | Some f ->
-    (if not (f (Op_set (g, v))) then set_direct g v)
-    [@alloc.allow extern
-        "sharded-window capture: op boxing happens only with a hook installed, i.e. \
-         inside a parallel window, never on the sequential hot path"]
+    if not (f (Op_set (g, v))) then set_direct g v
 
 let set_max g v =
   match g.g_hook.hook with
@@ -160,10 +154,7 @@ let observe h v =
   match h.h_hook.hook with
   | None -> observe_direct h v
   | Some f ->
-    (if not (f (Op_observe (h, v))) then observe_direct h v)
-    [@alloc.allow extern
-        "sharded-window capture: op boxing happens only with a hook installed, i.e. \
-         inside a parallel window, never on the sequential hot path"]
+    if not (f (Op_observe (h, v))) then observe_direct h v
 
 let apply = function
   | Op_incr c -> incr_direct c

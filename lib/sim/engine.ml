@@ -184,7 +184,7 @@ let alive_processes t = List.filter (fun p -> t.alive.(p)) (Pid.all ~n:t.n)
    Timer events used to live in the same heap, so this sum equals the old
    single-queue length at every instant — the queue high-water mark is
    unchanged by the wheel split. *)
-let note_event_depth t =
+let[@race.seq_root] note_event_depth t =
   let depth = Event_queue.length t.queue + t.timer_live in
   Stats.note_queue_depth t.stats ~depth;
   Obs.Registry.set_max t.m_queue_depth_hw depth
@@ -195,7 +195,7 @@ let schedule_event t ~at kind =
   Event_queue.schedule t.queue ~at kind;
   note_event_depth t
 
-let schedule_crash t p ~at =
+let[@race.seq_root] schedule_crash t p ~at =
   check_pid t p;
   match t.shards with
   | Some st -> Shard.schedule_crash st p ~at
@@ -224,7 +224,7 @@ let register t ~component p handler =
          (Pid.to_string p))
   | None -> slots.(p) <- Some handler
 
-let send t ~component ~tag ~src ~dst payload =
+let[@race.seq_root] send t ~component ~tag ~src ~dst payload =
   check_pid t src;
   check_pid t dst;
   match t.shards with
@@ -354,7 +354,7 @@ let[@alloc.zero] arm_timer t p ~delay callback ctl =
   note_event_depth t;
   slot
 
-let set_timer t p ~delay callback =
+let[@race.seq_root] set_timer t p ~delay callback =
   check_pid t p;
   match t.shards with
   | Some st ->
@@ -364,7 +364,7 @@ let set_timer t p ~delay callback =
     let slot = arm_timer t p ~delay callback no_ctl in
     { slot; gen = t.timer_gens.(slot); tshard = 0 }
 
-let cancel_slot t slot gen =
+let[@race.seq_root] cancel_slot t slot gen =
   (* Stale handles (already fired, already cancelled, slot since reused)
      fail the generation or state check and are no-ops. *)
   if slot >= 0
@@ -386,7 +386,7 @@ let cancel_timer t { slot; gen; tshard } =
   | Some st -> Shard.cancel st ~sid:tshard ~slot ~gen
   | None -> cancel_slot t slot gen
 
-let every t p ?phase ~period callback =
+let[@race.seq_root] every t p ?phase ~period callback =
   check_pid t p;
   match t.shards with
   | Some st -> Shard.every st p ?phase ~period callback
@@ -405,7 +405,7 @@ let every t p ?phase ~period callback =
       cancel_slot t ctl.p_slot ctl.p_gen
     end
 
-let at t instant callback =
+let[@race.seq_root] at t instant callback =
   match t.shards with
   | Some st -> Shard.at st instant callback
   | None ->
@@ -415,7 +415,7 @@ let at t instant callback =
 (* [now t] (not [t.now]) in the record calls below: in sharded mode it is
    the executing shard's clock, and the trace sink routes the body into
    that shard's op log for barrier replay. *)
-let note t p ~tag detail = Trace.record t.trace (Note { at = now t; pid = p; tag; detail })
+let[@race.seq_root] note t p ~tag detail = Trace.record t.trace (Note { at = now t; pid = p; tag; detail })
 
 type span = {
   mutable span_id : int;
@@ -428,7 +428,7 @@ type span = {
   mutable closed : bool;
 }
 
-let begin_span t p ~component ~name =
+let[@race.seq_root] begin_span t p ~component ~name =
   check_pid t p;
   match t.shards with
   | None ->
@@ -454,7 +454,7 @@ let begin_span t p ~component ~name =
     if Shard.in_window st then Shard.log_fn st log else log ();
     s
 
-let end_span t s =
+let[@race.seq_root] end_span t s =
   if not s.closed then begin
     s.closed <- true;
     match t.shards with
@@ -478,7 +478,20 @@ let end_span t s =
       if Shard.in_window st then Shard.log_fn st log else log ()
   end
 
-let record_fd_view t ~component p ~suspected ~trusted =
+(* Deferred observer effects: run [fn] at this event's position in the
+   sequential order.  A sequential engine runs it immediately; inside a
+   sharded window it is appended to the executing shard's op log and
+   replayed on the coordinating domain at the barrier.  Client-side
+   observer state shared across pids (e.g. a broadcast's per-instance
+   span bookkeeping) must be mutated through this — a live mutation from
+   a handler would race across shard domains and land trace effects at a
+   wall-clock-dependent position. *)
+let[@race.seq_root] deferred t fn =
+  match t.shards with
+  | Some st when Shard.in_window st -> Shard.log_fn st fn
+  | _ -> fn ()
+
+let[@race.seq_root] record_fd_view t ~component p ~suspected ~trusted =
   Trace.record t.trace (Fd_view { at = now t; pid = p; component; suspected; trusted })
 
 let dispatch t (envelope : Payload.envelope) =
@@ -621,7 +634,7 @@ let next_instant t =
   let ht = if Event_queue.is_empty t.queue then max_int else Event_queue.next_at t.queue in
   if wt < ht then wt else ht
 
-let step t =
+let[@race.seq_root] step t =
   match t.shards with None -> seq_step t | Some st -> Shard.step st
 
 let rec run_loop t horizon =

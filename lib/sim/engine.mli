@@ -179,6 +179,16 @@ val end_span : t -> span -> unit
     on round exit.  Spans left open at the end of a run (e.g. a suspicion
     of a genuinely crashed process) simply never get a [Span_end]. *)
 
+val deferred : t -> (unit -> unit) -> unit
+(** Run [fn] at this event's position in the sequential order.  On a
+    sequential engine it runs immediately; inside a sharded window it is
+    deferred to barrier replay on the coordinating domain (the same
+    channel spans use).  Handler code whose observer state is shared
+    across pids — e.g. a broadcast's per-instance bookkeeping — must
+    mutate it through this: a live mutation would race across shard
+    domains, and any trace effect it triggers would land at a
+    wall-clock-dependent position. *)
+
 val record_fd_view :
   t -> component:string -> Pid.t -> suspected:Pid.Set.t -> trusted:Pid.t option -> unit
 (** Record a failure-detector output change in the trace. *)

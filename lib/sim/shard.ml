@@ -201,9 +201,8 @@ let shard_of st p = p mod st.k
    and bulk-waived: per-event cost is O(1) and a steady-state window
    never takes them. *)
 
-let[@alloc.allow bulk
-     "amortized op-log growth: doubles capacity, so per-event cost is O(1); \
-      the log is reset (not freed) at every barrier"] ensure_ops sh extra =
+let[@alloc.allow bulk "amortized op-buffer growth: doubled, reset at every barrier"]
+    ensure_ops sh extra =
   let cap = Array.length sh.ops in
   if sh.ops_len + extra > cap then begin
     let cap' = Stdlib.max 64 (Stdlib.max (sh.ops_len + extra) (2 * cap)) in
@@ -232,9 +231,7 @@ let push3 sh c a b =
   sh.ops.(i + 2) <- b;
   sh.ops_len <- i + 3
 
-let[@alloc.allow bulk
-     "amortized envelope-buffer growth: doubled, reset at every barrier"]
-    push_env sh env =
+let push_env sh env =
   let cap = Array.length sh.envs in
   if sh.envs_len = cap then begin
     let envs' = Array.make (Stdlib.max 16 (2 * cap)) no_env in
@@ -246,9 +243,7 @@ let[@alloc.allow bulk
   sh.envs_len <- i + 1;
   i
 
-let[@alloc.allow bulk
-     "amortized body-buffer growth: doubled, reset at every barrier"]
-    push_body sh body =
+let push_body sh body =
   let cap = Array.length sh.bodies in
   if sh.bodies_len = cap then begin
     let bodies' = Array.make (Stdlib.max 16 (2 * cap)) no_body in
@@ -260,9 +255,7 @@ let[@alloc.allow bulk
   sh.bodies_len <- i + 1;
   i
 
-let[@alloc.allow bulk
-     "amortized obs-op-buffer growth: doubled, reset at every barrier"]
-    push_obs sh op =
+let push_obs sh op =
   let cap = Array.length sh.obs_ops in
   if sh.obs_len = cap then begin
     let ops' = Array.make (Stdlib.max 16 (2 * cap)) Obs.Registry.noop_op in
@@ -274,9 +267,7 @@ let[@alloc.allow bulk
   sh.obs_len <- i + 1;
   i
 
-let[@alloc.allow bulk
-     "amortized closure-buffer growth: doubled, reset at every barrier"]
-    push_fn sh fn =
+let push_fn sh fn =
   let cap = Array.length sh.fns in
   if sh.fns_len = cap then begin
     let fns' = Array.make (Stdlib.max 16 (2 * cap)) no_fn in
@@ -288,8 +279,7 @@ let[@alloc.allow bulk
   sh.fns_len <- i + 1;
   i
 
-let[@alloc.allow bulk
-     "amortized seq-map growth: doubled, reset at every barrier"] smap_push sh seq =
+let smap_push sh seq =
   let cap = Array.length sh.smap in
   if sh.smap_len = cap then begin
     let smap' = Array.make (Stdlib.max 64 (2 * cap)) 0 in
@@ -303,9 +293,7 @@ let[@alloc.allow bulk
    engine's [alloc_timer_slot]/[free_push] (LIFO reuse, six columns
    doubling together — the extra one is [vmap]). *)
 
-let[@alloc.allow bulk
-     "amortized free-list growth: doubles capacity, so per-event cost is O(1)"]
-    local_free_push sh slot =
+let[@alloc.allow bulk "amortized local free-list growth"] local_free_push sh slot =
   let cap = Array.length sh.tfree in
   if sh.tfree_len = cap then begin
     let free' = Array.make (Stdlib.max 16 (2 * cap)) 0 in
@@ -315,9 +303,8 @@ let[@alloc.allow bulk
   sh.tfree.(sh.tfree_len) <- slot;
   sh.tfree_len <- sh.tfree_len + 1
 
-let[@alloc.allow bulk
-     "amortized registry growth: the six parallel columns double together, so \
-      per-event cost is O(1)"] alloc_local_slot sh =
+let[@alloc.allow bulk "amortized local timer-table growth (all columns doubled \
+      together)"] alloc_local_slot sh =
   if sh.tfree_len > 0 then begin
     sh.tfree_len <- sh.tfree_len - 1;
     sh.tfree.(sh.tfree_len)
@@ -355,7 +342,7 @@ let[@alloc.allow bulk
    lifecycle (LIFO free list, high-water = [v_next_slot]) in merged
    order, so [timer_table_capacity] matches the sequential run. *)
 
-let[@alloc.allow bulk "amortized virtual free-list growth"] vfree_push st v =
+let vfree_push st v =
   let cap = Array.length st.v_free in
   if st.v_free_len = cap then begin
     let free' = Array.make (Stdlib.max 16 (2 * cap)) 0 in
@@ -365,7 +352,7 @@ let[@alloc.allow bulk "amortized virtual free-list growth"] vfree_push st v =
   st.v_free.(st.v_free_len) <- v;
   st.v_free_len <- st.v_free_len + 1
 
-let[@alloc.allow bulk "amortized virtual live-table growth"] valloc st =
+let valloc st =
   if st.v_free_len > 0 then begin
     st.v_free_len <- st.v_free_len - 1;
     st.v_free.(st.v_free_len)
@@ -442,9 +429,17 @@ let d_execute_timer st sh cell =
     if st.alive.(pid) then begin
       Stats.on_timer_fired st.stats;
       Obs.Registry.incr st.m_timer_fired;
-      if Sim_time.equal ctl.p_period Sim_time.zero then cb ()
+      if Sim_time.equal ctl.p_period Sim_time.zero then
+        (cb ()
+        [@race.allow escape
+            "component timer callback, executed by the domain that owns this \
+             engine: the coordinator behind the pool barrier in a top-level \
+             sharded run, or the single job domain that built a nested engine"])
       else if not ctl.p_stopped then begin
-        cb ();
+        (cb ()
+        [@race.allow escape
+            "component timer callback, executed by the domain that owns this \
+             engine (see the zero-period arm above)"]);
         let sh', slot = d_arm st pid ~delay:ctl.p_period cb ctl in
         ctl.p_slot <- slot;
         ctl.p_gen <- sh'.tgens.(slot)
@@ -483,7 +478,11 @@ let d_dispatch st (env : Payload.envelope) =
         Stats.on_deliver st.stats ~component ~tag;
         Obs.Registry.observe st.m_delivery_latency (st.gnow - sent_at)
       end;
-      h ~src payload
+      (h ~src payload
+      [@race.allow escape
+          "component message handler, executed by the domain that owns this \
+           engine; handlers reach shared engine state only through the \
+           in-window API, which routes effects into per-shard op buffers"])
   end
 
 let d_send st ~component ~tag ~src ~dst payload =
@@ -502,7 +501,12 @@ let d_send st ~component ~tag ~src ~dst payload =
     let env = { Payload.src; dst; component; tag; payload; sent_at = st.gnow; msg } in
     Trace.record st.trace (Send { at = st.gnow; src; dst; msg; component; tag });
     Stats.on_send st.stats ~component ~tag;
-    match st.link.Link.fate ~rng:st.rng ~now:st.gnow ~src ~dst with
+    match
+      (st.link.Link.fate ~rng:st.rng ~now:st.gnow ~src ~dst
+      [@race.allow escape
+          "link fate model, installed at engine creation: a pure function of \
+           the seeded rng it is handed, executed by the engine-owning domain"])
+    with
     | Link.Drop ->
       Trace.record st.trace
         (Drop { at = st.gnow; src; dst; msg; component; tag; reason = "lossy" });
@@ -557,13 +561,20 @@ let[@alloc.zero] w_execute_timer st sh cell =
         [@alloc.allow extern
             "the callback belongs to the registering component: its allocation is \
              its own, not the timer plumbing's (same waiver as the sequential \
-             engine's execute_timer)"])
+             engine's execute_timer)"]
+        [@race.allow escape
+            "component timer callback fired in-window on a worker domain: the \
+             determinism contract confines callbacks to shard-local state and \
+             the in-window API (op-stream appends replayed behind the barrier)"])
       else if not ctl.p_stopped then begin
         (cb ()
         [@alloc.allow extern
             "the callback belongs to the registering component: its allocation is \
              its own, not the timer plumbing's (same waiver as the sequential \
-             engine's execute_timer)"]);
+             engine's execute_timer)"]
+        [@race.allow escape
+            "component timer callback fired in-window on a worker domain (see \
+             the zero-period arm above)"]);
         let slot = w_arm sh pid ~delay:ctl.p_period cb ctl in
         ctl.p_slot <- slot;
         ctl.p_gen <- sh.tgens.(slot)
@@ -597,7 +608,12 @@ let w_dispatch st sh (env : Payload.envelope) =
         let idx = push_env sh env in
         push2 sh op_deliver_ok idx
       end;
-      h ~src payload
+      (h ~src payload
+      [@race.allow escape
+          "component message handler invoked in-window on a worker domain: the \
+           determinism contract confines handlers to shard-local state and the \
+           in-window API, whose effects become op-stream appends replayed \
+           behind the barrier"])
   end
 
 let w_send st sh ~component ~tag ~src ~dst payload =
@@ -685,11 +701,7 @@ let replay_alloc_seq st sh =
   smap_push sh seq;
   seq
 
-let[@alloc.allow bulk
-     "mailbox growth: cross-shard sends buffered per (src, dst) shard pair; \
-      amortized doubling, flushed and reset at every barrier (the bulk waiver \
-      the tentpole grants the mailbox exchange)"]
-    mailbox_push st ~src_sid ~dst_sid env ~at ~seq =
+let mailbox_push st ~src_sid ~dst_sid env ~at ~seq =
   let mb = st.mailboxes.((src_sid * st.k) + dst_sid) in
   let cap = Array.length mb.mb_envs in
   if mb.mb_len = cap then begin
@@ -712,7 +724,7 @@ let[@alloc.allow bulk
 (* Replay one STEP group: the head STEP plus every effect op before the
    next STEP.  Effects reproduce, in order, exactly what the sequential
    engine would have done while executing that event. *)
-let replay_group st sh =
+let[@race.shard_root] replay_group st sh =
   let ops = sh.ops in
   let at = ops.(sh.rp + 1) in
   assert (at >= st.gnow);
@@ -782,7 +794,12 @@ let replay_group st sh =
       let { Payload.src; dst; component; tag; sent_at; _ } = env in
       Trace.record st.trace (Send { at = sent_at; src; dst; msg; component; tag });
       Stats.on_send st.stats ~component ~tag;
-      (match st.link.Link.fate ~rng:st.rng ~now:sent_at ~src ~dst with
+      (match
+         (st.link.Link.fate ~rng:st.rng ~now:sent_at ~src ~dst
+         [@race.allow escape
+             "link fate model at mailbox flush: runs on the coordinator behind \
+              the pool barrier (same contract as the direct path)"])
+       with
       | Link.Drop ->
         Trace.record st.trace
           (Drop { at = sent_at; src; dst; msg; component; tag; reason = "lossy" });
@@ -832,7 +849,7 @@ let replay_group st sh =
    provisional head seq was allocated by an ARM/SELF op earlier in the
    same stream (scheduling precedes execution locally), and that op was
    consumed when its own group was replayed. *)
-let replay_windows st =
+let[@race.shard_root] replay_windows st =
   let remaining = ref true in
   while !remaining do
     let best = ref (-1) in
@@ -853,7 +870,7 @@ let replay_windows st =
     if !best < 0 then remaining := false else replay_group st st.shards.(!best)
   done
 
-let flush_mailboxes st =
+let[@race.shard_root] flush_mailboxes st =
   for src = 0 to st.k - 1 do
     for dst = 0 to st.k - 1 do
       let mb = st.mailboxes.((src * st.k) + dst) in
@@ -869,7 +886,7 @@ let flush_mailboxes st =
     done
   done
 
-let finish_window st =
+let[@race.shard_root] finish_window st =
   replay_windows st;
   flush_mailboxes st;
   for i = 0 to st.k - 1 do
@@ -930,7 +947,13 @@ let run_window st w1 =
       let sh = st.shards.(i) in
       if next_local sh < w1 then jobs := (fun () -> run_shard_window st sh w1) :: !jobs
     done;
-    ignore (Exec.Pool.run !jobs : unit list)
+    ignore
+      (Exec.Pool.run
+         (!jobs
+         [@race.allow publish
+             "argument evaluated by the coordinator before the window opens; \
+              the closures, not the list cell, cross domains"])
+        : unit list)
   end;
   finish_window st
 
@@ -983,7 +1006,11 @@ let direct_step st =
           st.alive.(p) <- false;
           Trace.record st.trace (Crash { at; pid = p })
         end
-      | Harness f -> f ())
+      | Harness f ->
+        (f ()
+        [@race.allow escape
+            "harness closure scheduled by the test driver, executed by the \
+             engine-owning domain between windows (never inside one)"]))
     | 1 ->
       let sh = st.shards.(!best_sid) in
       sh.snow <- at;
@@ -1279,24 +1306,31 @@ let create ~k ~n ~link ~rng ~alive ~handlers ~trace ~stats ~obs ~m_delivery_late
       shard_windows = 0;
     }
   in
+  (* Both hooks run on whichever domain performs the Trace/Obs call —
+     inside a window that is a pool worker, so they are [@race.domain]
+     roots for ecfd-racecheck: everything they touch must come out of
+     the Domain.DLS context (shard-local buffers), never from shared
+     engine state. *)
   Trace.set_sink trace
     (Some
-       (fun body ->
-         match Domain.DLS.get ctx_key with
-         | In_window (st', sh) when st' == st ->
-           let idx = push_body sh body in
-           push2 sh op_trace idx;
-           true
-         | _ -> false));
+       ((fun body ->
+          match Domain.DLS.get ctx_key with
+          | In_window (st', sh) when st' == st ->
+            let idx = push_body sh body in
+            push2 sh op_trace idx;
+            true
+          | _ -> false)
+       [@race.domain]));
   Obs.Registry.set_hook obs
     (Some
-       (fun op ->
-         match Domain.DLS.get ctx_key with
-         | In_window (st', sh) when st' == st ->
-           let idx = push_obs sh op in
-           push2 sh op_obs idx;
-           true
-         | _ -> false));
+       ((fun op ->
+          match Domain.DLS.get ctx_key with
+          | In_window (st', sh) when st' == st ->
+            let idx = push_obs sh op in
+            push2 sh op_obs idx;
+            true
+          | _ -> false)
+       [@race.domain]));
   st
 
 let shards_override = ref None
@@ -1311,7 +1345,13 @@ let env_shards =
       | _ -> None))
 
 let default_shards () =
-  match !shards_override with
+  match
+    (!shards_override
+    [@race.allow publish
+        "written only by the coordinator between runs (set_default_shards / \
+         with_shards); Domain.spawn publishes the value, and a nested engine \
+         built inside a job only reads it"])
+  with
   | Some k -> k
   | None -> ( match Lazy.force env_shards with Some k -> k | None -> 1)
 

@@ -1,0 +1,10 @@
+(* This file lives under a lib/exec/ path segment, so Boundary.sanctioned
+   holds: the Atomic accesses below are exempt from D4, and — because the
+   sanctioned layer is exactly where foreign closures cross domains — the
+   opaque [job ()] call in the [@race.domain] hook IS a D1 obligation
+   here (elsewhere an unknown callee is A1 purity's problem). *)
+let slot = Atomic.make 0
+
+let next () = Atomic.fetch_and_add slot 1
+
+let[@race.domain] dispatch job = job ()

@@ -1,0 +1,3 @@
+(* A decoy: named shard.ml but NOT at lib/sim/shard.ml, so the exact-path
+   boundary gives it no exemption and the Domain access is a D4 finding. *)
+let whoami () = Domain.self ()

@@ -1,0 +1,14 @@
+(* A pool job that writes mutable state captured from outside the domain
+   cone — directly, and through a helper (the interprocedural half). *)
+let counter = ref 0
+
+let bump () = incr counter
+
+let tally xs =
+  Exec.Pool.run
+    (List.map
+       (fun x () ->
+         incr counter;
+         bump ();
+         x)
+       xs)

@@ -1,0 +1,6 @@
+(* A pool job that reads mutable state created outside the domain cone
+   without an Atomic or pool-barrier handoff: the coordinator may write
+   [config] concurrently, and nothing publishes the value. *)
+let config = ref 17
+
+let fan xs = Exec.Pool.run (List.map (fun x () -> x + !config) xs)

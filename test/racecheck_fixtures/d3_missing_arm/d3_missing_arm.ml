@@ -1,0 +1,20 @@
+(* A replay-completeness gap: the sequential cone performs two effects
+   (Trace.emit, Stats.bump) but the shard replay cone only has an arm for
+   the first — the sharded run would silently diverge.  Local Trace/Stats
+   modules stand in for the engine's effect surfaces; D3 matches on the
+   module path, exactly as it does for the real Sim.Trace / Sim.Stats. *)
+module Trace = struct
+  let records = ref 0
+  let emit () = incr records
+end
+
+module Stats = struct
+  let hits = ref 0
+  let bump () = incr hits
+end
+
+let[@race.seq_root] seq_step () =
+  Trace.emit ();
+  Stats.bump ()
+
+let[@race.shard_root] replay_ops () = Trace.emit ()

@@ -1,0 +1,8 @@
+(* Blocking/ordering primitives outside the sanctioned boundary
+   (lib/exec/, lib/sim/shard.ml): a Mutex anywhere else can deadlock a
+   window or introduce scheduling-dependent ordering. *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f

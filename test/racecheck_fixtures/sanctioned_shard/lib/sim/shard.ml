@@ -1,0 +1,6 @@
+(* The barrier module's exact path (…/lib/sim/shard.ml): sanctioned, so
+   Domain.DLS here is exempt from D4 — unlike the decoy shard.ml in the
+   boundary fixture, whose basename alone buys nothing. *)
+let key = Domain.DLS.new_key (fun () -> 0)
+
+let window_index () = Domain.DLS.get key

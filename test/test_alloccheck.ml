@@ -7,7 +7,7 @@
    `dune build @alloccheck` does for lib/ and bench/. *)
 
 let run paths =
-  let findings, _ = Alloccheck_core.Driver.run paths in
+  let findings = (Alloccheck_core.Driver.run paths).Check_common.Cmt_driver.findings in
   List.map (fun (f : Check_common.Finding.t) -> (f.rule, f.file, f.line)) findings
 
 let fixture name = Filename.concat "alloccheck_fixtures" name
@@ -28,7 +28,7 @@ let test_z1_closure =
     ~expected:[ ("Z1", src "z1_closure" "z1_closure.ml", 4) ]
 
 let test_z1_chain_names_intermediate () =
-  let findings, _ = Alloccheck_core.Driver.run [ fixture "z1_closure" ] in
+  let findings = (Alloccheck_core.Driver.run [ fixture "z1_closure" ]).Check_common.Cmt_driver.findings in
   match findings with
   | [ f ] ->
     let mentions sub =
@@ -65,6 +65,13 @@ let test_suppressed =
   (* The z2_boxed violation again, under [@alloc.allow boxed "..."]. *)
   check_findings [ fixture "suppressed" ] ~expected:[]
 
+let test_stale =
+  (* An [@alloc.allow] span in the root cone covering no finding is
+     itself reported. *)
+  check_findings
+    [ fixture "stale" ]
+    ~expected:[ ("STALE", src "stale" "stale_alloc.ml", 4) ]
+
 let test_bad_allow =
   (* An allow naming an unregistered rule key is itself reported. *)
   check_findings
@@ -75,7 +82,7 @@ let test_whole_directory () =
   (* All fixtures at once, via the same recursive .cmt walk the dune
      @alloccheck alias uses. *)
   Alcotest.(check int)
-    "total findings over alloccheck_fixtures/" 5
+    "total findings over alloccheck_fixtures/" 6
     (List.length (run [ "alloccheck_fixtures" ]))
 
 let test_registry () =
@@ -118,6 +125,7 @@ let suites =
         Alcotest.test_case "[@alloc.allow] suppresses with a reason" `Quick
           test_suppressed;
         Alcotest.test_case "unknown allow key is itself a finding" `Quick test_bad_allow;
+        Alcotest.test_case "stale [@alloc.allow] is itself a finding" `Quick test_stale;
         Alcotest.test_case "directory walk finds every seeded violation" `Quick
           test_whole_directory;
         Alcotest.test_case "registry lists Z1-Z4 with unique keys" `Quick test_registry;

@@ -7,7 +7,7 @@
    and bench/. *)
 
 let run paths =
-  let findings, _ = Analyze_core.Driver.run paths in
+  let findings = (Analyze_core.Driver.run paths).Check_common.Cmt_driver.findings in
   List.map
     (fun (f : Check_common.Finding.t) -> (f.rule, f.file, f.line))
     findings
@@ -76,7 +76,7 @@ let test_whole_directory () =
     (List.length (run [ "analyze_fixtures" ]))
 
 let test_scans_units () =
-  let _, units = Analyze_core.Driver.run [ fixture "pure_ok" ] in
+  let units = (Analyze_core.Driver.run [ fixture "pure_ok" ]).Check_common.Cmt_driver.n_units in
   Alcotest.(check bool) "found at least one .cmt" true (units >= 1)
 
 let test_registry () =

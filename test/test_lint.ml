@@ -17,16 +17,9 @@ let test_r1_ambient =
     [ fixture "ambient_bad.ml" ]
     ~expected:[ ("R1", 3); ("R1", 4); ("R1", 5); ("R1", 6); ("R1", 7) ]
 
-let test_r1_multicore =
-  (* Domain/Atomic/Mutex are flagged under lib/fd/ (line 3 carries both a
-     Domain.spawn and an Atomic.incr) but the lib/exec/ twin is exempt,
-     and so is the exact path lib/sim/shard.ml (the shard barrier
-     module); the wheel_bad.ml decoy next to it proves other lib/sim/
-     files are still flagged. *)
-  check_findings
-    [ fixture "multicore_case" ]
-    ~expected:
-      [ ("R1", 2); ("R1", 3); ("R1", 3); ("R1", 4); ("R1", 3); ("R1", 4) ]
+(* Multicore-primitive confinement moved to ecfd-racecheck's D4
+   (test_racecheck.ml covers the boundary, including the decoy shard.ml);
+   R1 keeps only the ambient-nondeterminism core. *)
 
 let test_r1_rng_exemption =
   (* The R1 exemption is the exact path lib/sim/rng.ml: the real path's
@@ -66,10 +59,14 @@ let test_unknown_key =
      suppression itself and keep the underlying finding. *)
   check_findings [ fixture "unknown_key.ml" ] ~expected:[ ("R1", 5); ("LINT", 5) ]
 
+let test_stale =
+  (* A [@lint.allow] span covering no finding is itself reported. *)
+  check_findings [ fixture "stale_allow.ml" ] ~expected:[ ("STALE", 3) ]
+
 let test_whole_directory () =
   (* All fixtures at once: the per-file expectations above, via the same
      directory walk the dune @lint alias uses. *)
-  Alcotest.(check int) "total findings over lint_fixtures/" 30
+  Alcotest.(check int) "total findings over lint_fixtures/" 25
     (List.length (run [ "lint_fixtures" ]))
 
 let test_registry () =
@@ -86,8 +83,6 @@ let suites =
     ( "lint",
       [
         Alcotest.test_case "R1: ambient nondeterminism fixture" `Quick test_r1_ambient;
-        Alcotest.test_case "R1: multicore primitives confined to lib/exec/" `Quick
-          test_r1_multicore;
         Alcotest.test_case "R1: rng.ml exemption is by exact path" `Quick
           test_r1_rng_exemption;
         Alcotest.test_case "R2: unordered-escape fixture" `Quick test_r2_unordered;
@@ -101,6 +96,7 @@ let suites =
           test_missing_reason;
         Alcotest.test_case "[@lint.allow] with an unknown rule key is reported" `Quick
           test_unknown_key;
+        Alcotest.test_case "stale [@lint.allow] is itself a finding" `Quick test_stale;
         Alcotest.test_case "directory walk finds every seeded violation" `Quick
           test_whole_directory;
         Alcotest.test_case "registry lists R1-R6 with unique keys" `Quick test_registry;

@@ -1,0 +1,71 @@
+(* Standalone sharded-engine exerciser for the ThreadSanitizer CI job.
+
+   Kept free of compiler-libs for the same reason as test/tsan_pool: the
+   TSan job builds with the 5.2 tsan compiler variant while the repo's
+   analyzers pin compiler-libs to 5.1.  Where tsan_pool drives the job
+   pool's counter/slot protocol, this drives the sharded engine's window
+   machinery — shard-local stepping on real worker domains
+   (ECFD_DOMAINS=4 in CI), op-stream appends through the Domain.DLS
+   trace/obs hooks, barrier replay and cross-shard mailbox flushes —
+   and re-checks the determinism contract: a sharded run's observable
+   state must be byte-identical to the sequential run's.
+
+   ecfd-racecheck argues the same protocol race-free statically (D1/D2
+   over the window cones); TSan checks the schedules this run explores. *)
+
+let n = 12
+let horizon = 2_000
+
+(* One full run at [shards]: a gossip component where every process
+   periodically pings every other and receivers bounce every third ping
+   back, so windows carry both timer fires and cross-shard deliveries in
+   both directions.  Per-process state is partitioned by destination —
+   exactly the shard-local discipline real components follow. *)
+let run ~shards =
+  let t =
+    Sim.Engine.create ~seed:42 ~shards ~n
+      ~link:(Sim.Link.reliable ~min_delay:1 ~max_delay:9 ())
+      ()
+  in
+  let pings = Array.make n 0 in
+  let pongs = Array.make n 0 in
+  List.iter
+    (fun p ->
+      Sim.Engine.register t ~component:"gossip" p (fun ~src payload ->
+          match payload with
+          | Sim.Payload.Blank ->
+            pings.(p) <- pings.(p) + 1;
+            if pings.(p) mod 3 = 0 then
+              Sim.Engine.send t ~component:"gossip" ~tag:"pong" ~src:p ~dst:src
+                Sim.Payload.Blank
+          | _ -> pongs.(p) <- pongs.(p) + 1);
+      ignore
+        (Sim.Engine.every t p ~phase:(p mod 5) ~period:(7 + (p mod 3))
+           (fun () ->
+             Sim.Engine.send_to_all_others t ~component:"gossip" ~tag:"ping"
+               ~src:p Sim.Payload.Blank)
+          : unit -> unit))
+    (Sim.Pid.all ~n);
+  Sim.Engine.run_until t horizon;
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "now=%d" (Sim.Engine.now t));
+  Array.iteri (fun p c -> Buffer.add_string b (Printf.sprintf " %d:%d" p c)) pings;
+  Array.iteri (fun p c -> Buffer.add_string b (Printf.sprintf " %d:%d" p c)) pongs;
+  Buffer.contents b
+
+let () =
+  let seq = run ~shards:1 in
+  let par = run ~shards:4 in
+  if not (String.equal seq par) then begin
+    prerr_endline "tsan_shard: sharded run diverged from sequential";
+    prerr_endline ("  shards=1: " ^ seq);
+    prerr_endline ("  shards=4: " ^ par);
+    exit 1
+  end;
+  (* A second sharded run must also be bit-stable run-to-run. *)
+  let par' = run ~shards:4 in
+  if not (String.equal par par') then begin
+    prerr_endline "tsan_shard: sharded run not reproducible";
+    exit 1
+  end;
+  print_endline "tsan_shard: OK"

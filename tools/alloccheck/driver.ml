@@ -5,4 +5,4 @@
 
 let run roots =
   Check_common.Cmt_driver.run ~attr_name:"alloc.allow" ~meta_rule:"ALLOC"
-    ~meta_key:"alloc" ~rules:Registry.all roots
+    ~meta_key:"alloc" ~used_sites:Walk.boundaries ~rules:Registry.all roots

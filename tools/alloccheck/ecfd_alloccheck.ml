@@ -70,8 +70,8 @@ let () =
         exit 2
       end)
     roots;
-  let findings, n_units = Driver.run roots in
-  if n_units = 0 then begin
+  let r = Driver.run roots in
+  if r.Check_common.Cmt_driver.n_units = 0 then begin
     Printf.eprintf
       "ecfd-alloccheck: no .cmt files below %s — build first (dune build @all)\n"
       (String.concat " " roots);
@@ -85,9 +85,11 @@ let () =
   List.iter (fun line -> Printf.eprintf "ecfd-alloccheck: %s\n" line) drift;
   let code =
     Check_common.Report.emit ~tool:"ecfd-alloccheck" ?json:!json_file
+      ~suppressed:r.Check_common.Cmt_driver.suppressed
       ~clean_note:
         (Printf.sprintf "%d rule(s) over %d unit(s) below %s"
-           (List.length Registry.all) n_units (String.concat " " roots))
-      findings
+           (List.length Registry.all) r.Check_common.Cmt_driver.n_units
+           (String.concat " " roots))
+      r.Check_common.Cmt_driver.findings
   in
   exit (if drift <> [] then 1 else code)

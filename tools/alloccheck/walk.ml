@@ -62,6 +62,10 @@ type ctx = {
   visited : (string * int, unit) Hashtbl.t;  (* per root: def_key *)
   emitted : (string * int * string, unit) Hashtbl.t;  (* global: file, offset, rule *)
   findings : Finding.t list ref;
+  boundaries : (string * string * int) list ref;
+      (* [@alloc.allow extern] sites the walk actually stopped at:
+         (file, key, offset) — reported to the stale-suppression pass as
+         honoured spans, since a boundary produces no finding to cover. *)
 }
 
 let flag ctx ~chain ~rule ~key loc what =
@@ -75,7 +79,7 @@ let flag ctx ~chain ~rule ~key loc what =
       | chain -> Printf.sprintf " via %s" (String.concat " -> " chain)
     in
     ctx.findings :=
-      Finding.of_loc ~rule ~key
+      Finding.of_loc ~chain:(ctx.root.display :: chain) ~rule ~key
         ~msg:
           (Printf.sprintf
              "%s — on the zero-allocation path from [@alloc.zero] %s%s; remove the \
@@ -111,7 +115,12 @@ let rec visit_def ctx ~chain (def : Index.def) =
   end
 
 and walk ctx ~chain (e : Typedtree.expression) =
-  if is_boundary e.exp_attributes then ()
+  if is_boundary e.exp_attributes then
+    ctx.boundaries :=
+      ( e.exp_loc.loc_start.pos_fname,
+        "extern",
+        e.exp_loc.loc_start.pos_cnum )
+      :: !(ctx.boundaries)
   else
     match e.exp_desc with
     | Texp_ident _ | Texp_constant _ -> ()
@@ -219,21 +228,32 @@ and call ctx ~chain ~(site : Typedtree.expression) ~n_args ~fn_type (p : Path.t)
 let compute (index : Index.t) =
   let emitted = Hashtbl.create 64 in
   let findings = ref [] in
+  let bounds = ref [] in
   List.iter
     (fun root ->
-      let ctx = { index; root; visited = Hashtbl.create 64; emitted; findings } in
+      let ctx =
+        { index; root; visited = Hashtbl.create 64; emitted; findings;
+          boundaries = bounds }
+      in
       visit_def ctx ~chain:[] root)
     (roots index);
-  List.rev !findings
+  (List.rev !findings, List.rev !bounds)
 
 (* The four Z-rules filter one shared walk; cache it per index so the
    registry does not redo the traversal four times. *)
-let cache : (Index.t * Finding.t list) option ref = ref None
+let cache : (Index.t * (Finding.t list * (string * string * int) list)) option ref =
+  ref None
 
-let findings index =
+let walk_results index =
   match !cache with
-  | Some (cached_index, fs) when cached_index == index -> fs
+  | Some (cached_index, r) when cached_index == index -> r
   | _ ->
-    let fs = compute index in
-    cache := Some (index, fs);
-    fs
+    let r = compute index in
+    cache := Some (index, r);
+    r
+
+let findings index = fst (walk_results index)
+
+(* Honoured [@alloc.allow extern] boundary sites, for the stale-
+   suppression pass. *)
+let boundaries index = snd (walk_results index)

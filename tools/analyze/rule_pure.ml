@@ -205,7 +205,7 @@ let run (index : Index.t) =
       in
       let root = root_loc.Location.loc_start in
       findings :=
-        Check_common.Finding.of_loc ~rule:rule_id ~key
+        Check_common.Finding.of_loc ~chain ~rule:rule_id ~key
           ~msg:
             (Printf.sprintf
                "%s — reachable from the pool job submitted at %s:%d%s; pool jobs \

@@ -5,7 +5,12 @@
    mandatory-reason policy and the span-matching rule live here so the two
    suppression languages cannot drift apart. *)
 
-type span = { key : string; left : int; right : int }
+type span = {
+  key : string;
+  left : int;
+  right : int;
+  loc : Location.t;  (** The attribute's own location — where a stale span is reported. *)
+}
 
 (* Payload forms accepted:
      [@<pass>.allow key "reason"]   -> Some (key, Some reason)
@@ -49,7 +54,13 @@ let classify ~attr_name ~meta_rule ~meta_key ~known_keys ~(span : Location.t)
               attr.attr_loc))
     | Some (key, Some reason) when String.trim reason <> "" ->
       Some
-        (Ok { key; left = span.loc_start.pos_cnum; right = span.loc_end.pos_cnum })
+        (Ok
+           {
+             key;
+             left = span.loc_start.pos_cnum;
+             right = span.loc_end.pos_cnum;
+             loc = attr.attr_loc;
+           })
     | Some (key, _) ->
       Some
         (Error

@@ -23,15 +23,27 @@ let load roots =
             rule = "CMT";
             key = "cmt";
             msg = "unreadable .cmt: " ^ msg;
+            chain = [];
           }
           :: findings ))
     ([], []) cmts
   |> fun (sources, findings) -> (List.rev sources, findings)
 
 (* Run every rule of one pass over the .cmt files found below [roots].
-   Returns the surviving findings, sorted, plus the unit count (so the
-   CLIs can refuse to bless an empty scan). *)
-let run ~attr_name ~meta_rule ~meta_key ~(rules : Trule.t list) roots =
+   Returns the surviving findings (sorted), the span-suppressed findings
+   (for the JSON artifact) and the unit count (so the CLIs can refuse to
+   bless an empty scan).  [used_sites] lets a pass report suppression
+   spans it honoured as boundaries rather than as finding filters (e.g.
+   the zero-allocation walk stopping at an [@alloc.allow extern]) — those
+   spans are not stale even though they cover no finding. *)
+type result = {
+  findings : Finding.t list;
+  suppressed : Finding.t list;
+  n_units : int;
+}
+
+let run ~attr_name ~meta_rule ~meta_key ?(used_sites = fun (_ : Index.t) -> [])
+    ~(rules : Trule.t list) roots =
   let known_keys = List.map (fun (r : Trule.t) -> r.key) rules in
   let sources, load_findings = load roots in
   let index = Index.build sources in
@@ -46,10 +58,10 @@ let run ~attr_name ~meta_rule ~meta_key ~(rules : Trule.t list) roots =
     @ List.concat_map (fun (_, (s : Tsuppress.t)) -> s.findings) suppressions
   in
   let rule_findings = List.concat_map (fun (r : Trule.t) -> r.run index) rules in
-  let spans_for_file file =
-    match List.assoc_opt file suppressions with
-    | Some (s : Tsuppress.t) -> s.spans
-    | None -> []
+  let r =
+    Pipeline.finalize ~attr_name ~used_sites:(used_sites index)
+      ~suppressions:
+        (List.map (fun (file, (s : Tsuppress.t)) -> (file, s.spans)) suppressions)
+      ~meta_findings rule_findings
   in
-  ( Pipeline.finalize ~spans_for_file ~meta_findings rule_findings,
-    List.length sources )
+  { findings = r.survivors; suppressed = r.suppressed; n_units = List.length sources }

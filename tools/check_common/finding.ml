@@ -11,9 +11,14 @@ type t = {
   rule : string;  (** Rule id, e.g. ["R1"] or ["A1"]. *)
   key : string;  (** Suppression key, e.g. ["ambient"] or ["pure"]. *)
   msg : string;
+  chain : string list;
+      (** Interprocedural call chain from the analysis root to the site,
+          outermost first; empty for local (single-site) rules.  The
+          human-readable "via a -> b" rendering stays part of [msg]; this
+          is the structured form for the JSON artifacts. *)
 }
 
-let of_loc ~rule ~key ~msg (loc : Location.t) =
+let of_loc ?(chain = []) ~rule ~key ~msg (loc : Location.t) =
   let p = loc.loc_start in
   {
     file = p.pos_fname;
@@ -23,6 +28,7 @@ let of_loc ~rule ~key ~msg (loc : Location.t) =
     rule;
     key;
     msg;
+    chain;
   }
 
 let compare a b =
@@ -40,7 +46,10 @@ let compare a b =
 
 let to_string f = Printf.sprintf "%s:%d: [%s] %s" f.file f.line f.rule f.msg
 
-(* Machine-readable form for CI artifacts (ANALYZE_findings.json). *)
+(* Machine-readable form for CI artifacts (the four *_findings.json).
+   One serializer, one shape — docs/schemas/findings.schema.json — for
+   every pass; [suppressed] distinguishes findings a [@<pass>.allow] span
+   silenced from the survivors that fail the build. *)
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
   String.iter
@@ -55,14 +64,21 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let to_json f =
+let to_json ?(suppressed = false) f =
   Printf.sprintf
-    {|{"file": "%s", "line": %d, "col": %d, "rule": "%s", "key": "%s", "msg": "%s"}|}
-    (json_escape f.file) f.line f.col (json_escape f.rule) (json_escape f.key)
+    {|{"rule": "%s", "file": "%s", "line": %d, "col": %d, "key": "%s", "message": "%s", "chain": [%s], "suppressed": %b}|}
+    (json_escape f.rule) (json_escape f.file) f.line f.col (json_escape f.key)
     (json_escape f.msg)
+    (String.concat ", "
+       (List.map (fun c -> Printf.sprintf "\"%s\"" (json_escape c)) f.chain))
+    suppressed
 
-let list_to_json fs =
-  match fs with
-  | [] -> "[]\n"
-  | fs ->
-    "[\n  " ^ String.concat ",\n  " (List.map to_json fs) ^ "\n]\n"
+let list_to_json ?(suppressed = []) fs =
+  match (fs, suppressed) with
+  | [], [] -> "[]\n"
+  | fs, suppressed ->
+    "[\n  "
+    ^ String.concat ",\n  "
+        (List.map (to_json ~suppressed:false) fs
+        @ List.map (to_json ~suppressed:true) suppressed)
+    ^ "\n]\n"

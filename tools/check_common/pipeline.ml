@@ -1,13 +1,79 @@
-(* The tail every pass's driver used to duplicate: drop rule findings
-   that fall inside a matching suppression span, then merge with the
-   pass's meta findings (parse/cmt failures, malformed or unknown-key
-   allow attributes — which deliberately bypass suppression: a broken
-   suppression must not be able to hide itself) and sort. *)
+(* The tail every pass's driver used to duplicate: partition rule
+   findings into survivors and span-suppressed, detect stale suppression
+   spans, then merge survivors with the pass's meta findings (parse/cmt
+   failures, malformed or unknown-key allow attributes — which
+   deliberately bypass suppression: a broken suppression must not be able
+   to hide itself) and sort.
 
-let finalize ~spans_for_file ~meta_findings rule_findings =
-  let surviving =
-    List.filter
-      (fun (f : Finding.t) -> not (Allow_payload.covers (spans_for_file f.Finding.file) f))
+   Staleness: a well-formed [@<pass>.allow <key> "reason"] span that
+   covers no raw rule finding of that key and sanctions no checker
+   boundary (a [used site] — e.g. an [@alloc.allow extern] the
+   zero-allocation walk actually stopped at) suppresses nothing.  It is
+   dead weight that silently widens the waiver surface, so it becomes a
+   finding itself, under the cross-pass rule id [STALE].  Stale findings
+   ride with the meta findings and cannot be suppressed. *)
+
+type result = {
+  survivors : Finding.t list;  (** Sorted; what fails the build. *)
+  suppressed : Finding.t list;  (** Sorted; dropped by a span — JSON artifact only. *)
+}
+
+let stale_rule = "STALE"
+
+let stale ~attr_name ~(suppressions : (string * Allow_payload.span list) list)
+    ~(used_sites : (string * string * int) list) rule_findings =
+  List.concat_map
+    (fun (file, spans) ->
+      let file_findings =
+        List.filter (fun (f : Finding.t) -> String.equal f.Finding.file file) rule_findings
+      in
+      let file_used =
+        List.filter_map
+          (fun (f, key, offset) -> if String.equal f file then Some (key, offset) else None)
+          used_sites
+      in
+      List.filter_map
+        (fun (s : Allow_payload.span) ->
+          let covers_finding =
+            List.exists
+              (fun (f : Finding.t) ->
+                String.equal s.key f.key && s.left <= f.offset && f.offset <= s.right)
+              file_findings
+          in
+          let covers_use =
+            List.exists
+              (fun (key, offset) ->
+                String.equal s.key key && s.left <= offset && offset <= s.right)
+              file_used
+          in
+          if covers_finding || covers_use then None
+          else
+            Some
+              (Finding.of_loc ~rule:stale_rule ~key:s.key
+                 ~msg:
+                   (Printf.sprintf
+                      "stale suppression: [@%s %s \"...\"] covers no %s finding and \
+                       sanctions no checker boundary — it suppresses nothing; remove \
+                       it (or fix the rule key)"
+                      attr_name s.key s.key)
+                 s.loc))
+        spans)
+    suppressions
+
+let finalize ~attr_name ?(used_sites = [])
+    ~(suppressions : (string * Allow_payload.span list) list) ~meta_findings
+    rule_findings =
+  let spans_for_file file =
+    match List.assoc_opt file suppressions with Some spans -> spans | None -> []
+  in
+  let suppressed, surviving =
+    List.partition
+      (fun (f : Finding.t) -> Allow_payload.covers (spans_for_file f.Finding.file) f)
       rule_findings
   in
-  List.sort_uniq Finding.compare (meta_findings @ surviving)
+  let stale_findings = stale ~attr_name ~suppressions ~used_sites rule_findings in
+  {
+    survivors =
+      List.sort_uniq Finding.compare (meta_findings @ stale_findings @ surviving);
+    suppressed = List.sort_uniq Finding.compare suppressed;
+  }

@@ -1,16 +1,23 @@
 (* The shared CLI epilogue: findings to stdout ("file:line: [RULE] msg"),
-   optional machine-readable JSON side file for CI artifacts (an empty
-   array on a clean pass), clean/failure note to stderr.  Returns the
-   process exit code so all three passes (ecfd-lint, ecfd-analyze,
-   ecfd-alloccheck) print, serialize and fail identically. *)
+   optional machine-readable JSON side file for CI artifacts, clean/failure
+   note to stderr.  Returns the process exit code so all four passes
+   (ecfd-lint, ecfd-analyze, ecfd-alloccheck, ecfd-racecheck) print,
+   serialize and fail identically.
 
-let write_json file findings =
+   The JSON file is one array in the shape of
+   docs/schemas/findings.schema.json: the surviving findings first
+   ("suppressed": false — these made the exit code non-zero), then the
+   findings a [@<pass>.allow] span silenced ("suppressed": true — visible
+   to tooling, invisible to the build).  An empty array is a clean pass
+   with no suppressions in play. *)
+
+let write_json file ~suppressed findings =
   let oc = open_out file in
-  output_string oc (Finding.list_to_json findings);
+  output_string oc (Finding.list_to_json ~suppressed findings);
   close_out oc
 
-let emit ~tool ?json ~clean_note findings =
-  (match json with Some file -> write_json file findings | None -> ());
+let emit ~tool ?json ?(suppressed = []) ~clean_note findings =
+  (match json with Some file -> write_json file ~suppressed findings | None -> ());
   List.iter (fun f -> print_endline (Finding.to_string f)) findings;
   match List.length findings with
   | 0 ->

@@ -28,9 +28,11 @@ let parse_impl path =
       Parse.implementation lexbuf)
 
 (* Run every registered rule over [roots] (files or directories).  Returns
-   the surviving findings, sorted.  Parse failures surface as [PARSE]
-   findings so a broken file can never silently pass the linter. *)
-let run roots =
+   the surviving findings, sorted, plus the span-suppressed findings for
+   the JSON artifact.  Parse failures surface as [PARSE] findings so a
+   broken file can never silently pass the linter; stale [@lint.allow]
+   spans surface as [STALE] (shared Check_common.Pipeline). *)
+let run_full roots =
   let mls, mlis = discover roots in
   let sources, parse_findings =
     List.fold_left
@@ -53,6 +55,7 @@ let run roots =
               rule = "PARSE";
               key = "parse";
               msg;
+              chain = [];
             }
             :: findings ))
       ([], []) mls
@@ -76,11 +79,10 @@ let run roots =
         | Project check -> check project)
       Registry.all
   in
-  let spans_for_file file =
-    match List.assoc_opt file suppressions with
-    | Some (s : Suppress.t) -> s.spans
-    | None -> []
-  in
-  Check_common.Pipeline.finalize ~spans_for_file
+  Check_common.Pipeline.finalize ~attr_name:Suppress.attr_name
+    ~suppressions:
+      (List.map (fun (path, (s : Suppress.t)) -> (path, s.spans)) suppressions)
     ~meta_findings:(parse_findings @ suppression_findings)
     rule_findings
+
+let run roots = (run_full roots).Check_common.Pipeline.survivors

@@ -1,22 +1,29 @@
 (* ecfd-lint: the repo's determinism & simulation-hygiene static analysis.
 
-     ecfd_lint [--list-rules] [PATH ...]
+     ecfd_lint [--list-rules] [--json FILE] [PATH ...]
 
    Scans every .ml/.mli under the given files/directories (default:
    lib bin bench), prints findings as "file:line: [RULE] message" and exits
-   non-zero if there are any.  See HACKING.md, "Determinism rules". *)
+   non-zero if there are any.  With [--json FILE] the findings (surviving
+   and suppressed) are also written in the shape of
+   docs/schemas/findings.schema.json for CI artifacts.  See HACKING.md,
+   "Determinism rules". *)
 
 open Lint_core
 
 let usage () =
-  prerr_endline "usage: ecfd_lint [--list-rules] [PATH ...]   (default paths: lib bin bench)";
+  prerr_endline
+    "usage: ecfd_lint [--list-rules] [--json FILE] [PATH ...]   (default paths: lib \
+     bin bench)";
   exit 2
 
 let list_rules () =
   List.iter
     (fun (r : Rules.t) -> Printf.printf "%-4s %-10s %s\n" r.id r.key r.doc)
     Registry.all;
-  print_string "LINT lint       a [@lint.allow] attribute itself is malformed or lacks a reason\n"
+  print_string
+    "LINT lint       a [@lint.allow] attribute itself is malformed or lacks a reason\n\
+     STALE           a [@lint.allow] span that suppresses nothing (shared, all passes)\n"
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -25,7 +32,18 @@ let () =
     list_rules ();
     exit 0
   end;
-  let roots = match args with [] -> [ "lib"; "bin"; "bench" ] | _ -> args in
+  let json_file = ref None in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--json" :: file :: rest ->
+      json_file := Some file;
+      parse acc rest
+    | "--json" :: [] -> usage ()
+    | a :: rest ->
+      if String.length a > 0 && a.[0] = '-' then usage ();
+      parse (a :: acc) rest
+  in
+  let roots = match parse [] args with [] -> [ "lib"; "bin"; "bench" ] | roots -> roots in
   List.iter
     (fun r ->
       if not (Sys.file_exists r) then begin
@@ -33,12 +51,11 @@ let () =
         exit 2
       end)
     roots;
-  let findings = Driver.run roots in
-  List.iter (fun f -> print_endline (Finding.to_string f)) findings;
-  match List.length findings with
-  | 0 ->
-    Printf.eprintf "ecfd-lint: clean (%d rule(s) over %s)\n" (List.length Registry.all)
-      (String.concat " " roots)
-  | n ->
-    Printf.eprintf "ecfd-lint: %d finding(s)\n" n;
-    exit 1
+  let result = Driver.run_full roots in
+  exit
+    (Check_common.Report.emit ~tool:"ecfd-lint" ?json:!json_file
+       ~suppressed:result.Check_common.Pipeline.suppressed
+       ~clean_note:
+         (Printf.sprintf "%d rule(s) over %s" (List.length Registry.all)
+            (String.concat " " roots))
+       result.Check_common.Pipeline.survivors)

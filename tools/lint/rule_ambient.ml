@@ -6,11 +6,11 @@
    seeded generator itself: randomness must flow through [Sim.Rng], time
    through [Sim_time] / the engine clock.
 
-   Multicore primitives are scoped the same way: [Domain], [Atomic] and
-   [Mutex] introduce scheduling-dependent interleavings, so they are
-   allowed only inside [lib/exec/] — the deterministic job pool, whose
-   whole point is to confine parallelism where it cannot reach simulated
-   state (results are restored to job order; jobs are pure closures). *)
+   Multicore primitives used to be scoped here too, with a per-file
+   exemption list; that check is now ecfd-racecheck's D4 (tools/racecheck,
+   rule_blocking.ml), where the sanctioned boundary lives with the other
+   domain-safety rules and the typed pass sees through aliases this
+   syntactic one cannot. *)
 
 let rule_id = "R1"
 let key = "ambient"
@@ -25,30 +25,6 @@ let exempt_file path =
   || String.length normalized > String.length "/lib/sim/rng.ml"
      && Filename.check_suffix normalized "/lib/sim/rng.ml"
 
-(* Where Domain/Atomic/Mutex are allowed: the job pool directory, plus —
-   by exact path, like the rng exemption above — the sharded engine's
-   barrier module, which needs [Domain.DLS] to route trace/obs effects
-   from worker domains into per-shard replay buffers.  Everything else in
-   lib/sim/ stays banned: shard.ml confines its parallelism behind
-   Exec.Pool barriers and replays effects deterministically, which no
-   other simulator module is structured to do. *)
-let multicore_exempt_file path =
-  let normalized = String.concat "/" (String.split_on_char '\\' path) in
-  normalized = "lib/sim/shard.ml"
-  || String.length normalized > String.length "/lib/sim/shard.ml"
-     && Filename.check_suffix normalized "/lib/sim/shard.ml"
-
-let in_exec_pool path =
-  let rec scan = function
-    | "lib" :: "exec" :: _ -> true
-    | _ :: rest -> scan rest
-    | [] -> false
-  in
-  scan (String.split_on_char '/' path)
-  || multicore_exempt_file path
-
-let multicore_roots = [ "Domain"; "Atomic"; "Mutex" ]
-
 let banned_paths =
   [
     ([ "Unix"; "time" ], "Unix.time reads the wall clock; use Sim_time / Engine.now");
@@ -60,7 +36,6 @@ let banned_paths =
 let check (src : Rules.source) =
   if exempt_file src.path then []
   else begin
-    let multicore_allowed = in_exec_pool src.path in
     let findings = ref [] in
     let flag loc msg =
       findings := Finding.of_loc ~rule:rule_id ~key ~msg loc :: !findings
@@ -75,13 +50,6 @@ let check (src : Rules.source) =
             (Printf.sprintf
                "ambient nondeterminism: %s; all randomness must flow through the \
                 seeded Sim.Rng"
-               (String.concat "." p))
-        | root :: _ when List.mem root multicore_roots && not multicore_allowed ->
-          flag loc
-            (Printf.sprintf
-               "multicore primitive %s escapes the job pool: Domain/Atomic/Mutex \
-                are allowed only inside lib/exec/ (Exec.Pool keeps parallel runs \
-                deterministic)"
                (String.concat "." p))
         | _ -> (
           match List.find_opt (fun (bad, _) -> bad = p) banned_paths with
@@ -122,7 +90,7 @@ let rule : Rules.t =
     key;
     doc =
       "no ambient nondeterminism: Stdlib.Random, Unix.time/gettimeofday, Sys.time and \
-       Hashtbl.create ~random are banned outside lib/sim/rng.ml; Domain/Atomic/Mutex \
-       are banned outside lib/exec/ and the shard barrier module lib/sim/shard.ml";
+       Hashtbl.create ~random are banned outside lib/sim/rng.ml (multicore-primitive \
+       confinement is ecfd-racecheck rule D4)";
     scope = File check;
   }

@@ -28,6 +28,7 @@ let check (project : Rules.project) =
               Printf.sprintf "missing interface: %s has no %si — every lib/ module \
                               must declare its API" ml
                 (Filename.basename ml);
+            chain = [];
           }
       else None)
     project.mls

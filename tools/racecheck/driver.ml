@@ -1,0 +1,10 @@
+(* ecfd-racecheck's driver is the shared typed-pass driver
+   (Check_common.Cmt_driver) instantiated with the D-rule registry and
+   the [@race.allow] suppression grammar.  The plumbing — .cmt discovery
+   and loading, index construction, suppression collection, filtering
+   and stale-suppression detection — lives in tools/check_common and is
+   shared with ecfd-analyze and ecfd-alloccheck. *)
+
+let run roots =
+  Check_common.Cmt_driver.run ~attr_name:"race.allow" ~meta_rule:"RACE"
+    ~meta_key:"race" ~rules:Registry.all roots

@@ -1,0 +1,13 @@
+(* The D-rule registry's type: the shared typed-pass rule record
+   (Check_common.Trule), exactly as ecfd-analyze's A-rules and
+   ecfd-alloccheck's Z-rules.  Every rule is whole-program: it sees the
+   full index and returns findings; suppression
+   ([@race.allow <key> "reason"]) and output formatting are applied by the
+   shared driver. *)
+
+type t = Check_common.Trule.t = {
+  id : string;  (** Printed in findings: [D1], [D2], ... *)
+  key : string;  (** Suppression key: [@race.allow <key> "reason"]. *)
+  doc : string;  (** One-line description for [--list-rules]. *)
+  run : Check_common.Index.t -> Check_common.Finding.t list;
+}

@@ -1,0 +1,27 @@
+(* D1 — escape analysis: mutable state written, or foreign code called,
+   on a pool worker domain.
+
+   The sites come from the shared domain cone walk (Domain_walk): writes
+   whose target is not owner-threaded, and calls through function values
+   whose body the checker cannot see.  Both are flagged at the offending
+   site with the call chain from the domain root. *)
+
+let rule_id = "D1"
+let key = "escape"
+
+let run index =
+  List.filter
+    (fun (f : Check_common.Finding.t) -> String.equal f.rule rule_id)
+    (Domain_walk.findings index)
+
+let rule : Drule.t =
+  {
+    id = rule_id;
+    key;
+    doc =
+      "domain escape: code reachable from a pool/spawn closure or a \
+       [@race.domain] hook must not write non-Atomic mutable state captured \
+       from outside the cone, nor call statically-unknown function values \
+       without a waiver";
+    run;
+  }

@@ -1,0 +1,28 @@
+(* D2 — cross-domain publication: mutable values created on one domain,
+   read on another without an Atomic or pool-barrier handoff.
+
+   The sites come from the shared domain cone walk (Domain_walk): reads
+   ([!], [Array.get], [Hashtbl.find], mutable record fields, ...) whose
+   target is not owner-threaded.  OCaml's memory model gives plain
+   accesses no happens-before edge; even when a read is race-free today,
+   publication must go through [Atomic] or the barrier the pool provides
+   at [Exec.Pool.run] boundaries so the edge is in the program, not in
+   the scheduler's luck. *)
+
+let rule_id = "D2"
+let key = "publish"
+
+let run index =
+  List.filter
+    (fun (f : Check_common.Finding.t) -> String.equal f.rule rule_id)
+    (Domain_walk.findings index)
+
+let rule : Drule.t =
+  {
+    id = rule_id;
+    key;
+    doc =
+      "cross-domain publication: reads of mutable state created outside the \
+       domain cone need an Atomic or a pool-barrier handoff";
+    run;
+  }

@@ -1,0 +1,157 @@
+(* D3 — barrier-replay completeness.
+
+   The sharded engine's determinism story (DESIGN, "Deterministic sharded
+   simulation") is that worker domains never perform observable effects
+   directly: every Trace record, Stats counter, Obs observation and Rng
+   draw the sequential path performs is either executed shard-locally on
+   owner-threaded state or appended to the per-shard op stream and
+   replayed by the coordinator behind the pool barrier.  A sequential
+   effect with no replay arm is a silent divergence: the sharded run
+   type-checks, races nothing, and still produces different bytes.
+
+   The rule makes that completeness obligation static.  Definitions
+   annotated [@race.seq_root] (the sequential engine's effectful entry
+   points) and [@race.shard_root] (the coordinator's replay/flush
+   routines) each get an A1-style cone; within a cone, an *effect* is any
+   reference whose normalised dotted path passes through one of the
+   effect modules (Trace, Stats, Registry, Obs, Rng).  Every effect
+   callee the sequential cones reach must also be reached by some shard
+   cone; the diff is reported at the sequential call site with its chain.
+
+   When a scanned tree declares no [@race.shard_root] at all (fixtures,
+   benches) there is no replay obligation and the rule is silent. *)
+
+open Check_common
+
+let rule_id = "D3"
+let key = "replay"
+
+let seq_attr = "race.seq_root"
+let shard_attr = "race.shard_root"
+
+let effect_modules = [ "Trace"; "Stats"; "Registry"; "Obs"; "Rng" ]
+
+(* ["Sim"; "Trace"; "record"] -> passes through "Trace"; the last
+   component is the value, never a module. *)
+let is_effect np =
+  let rec mods = function [] | [ _ ] -> [] | m :: rest -> m :: mods rest in
+  List.exists (fun m -> List.mem m effect_modules) (mods np)
+
+type summary = {
+  effects : (string * Location.t) list;  (* dotted callee, first site *)
+  refs : (string * [ `Stamp of string | `Path of string ]) list;
+}
+
+let summarize (e : Typedtree.expression) : summary =
+  let bound = Tast_util.bound_idents e in
+  let effects = ref [] and refs = ref [] in
+  let seen = Hashtbl.create 32 in
+  let once k v r = if not (Hashtbl.mem seen k) then (Hashtbl.add seen k (); r := v :: !r) in
+  Tast_util.iter_expressions
+    (fun (x : Typedtree.expression) ->
+      match x.exp_desc with
+      | Texp_ident (p, _, _) -> (
+        let np = Tast_util.path_of p in
+        let dotted = Tast_util.dotted np in
+        if is_effect np then once ("e:" ^ dotted) (dotted, x.exp_loc) effects
+        else
+          match p with
+          | Pident id ->
+            if not (Hashtbl.mem bound (Ident.unique_name id)) then
+              once
+                ("s:" ^ Ident.unique_name id)
+                (Ident.name id, `Stamp (Ident.unique_name id))
+                refs
+          | Pdot _ -> once ("p:" ^ dotted) (dotted, `Path dotted) refs
+          | _ -> ())
+      | _ -> ())
+    e;
+  { effects = List.rev !effects; refs = List.rev !refs }
+
+let run (index : Index.t) =
+  let tagged attr =
+    List.filter
+      (fun (d : Index.def) -> Tast_util.has_attr attr d.attrs)
+      index.all_defs
+  in
+  let seq_roots = tagged seq_attr and shard_roots = tagged shard_attr in
+  if seq_roots = [] || shard_roots = [] then []
+  else begin
+    let summaries = Hashtbl.create 128 in
+    let summary_of (def : Index.def) =
+      let k = Index.def_key def in
+      match Hashtbl.find_opt summaries k with
+      | Some s -> s
+      | None ->
+        let s = summarize def.expr in
+        Hashtbl.add summaries k s;
+        s
+    in
+    (* Walk one root's cone, reporting each effect callee (first site,
+       with chain) to [on_effect]. *)
+    let walk ~on_effect (root : Index.def) =
+      let visited = Hashtbl.create 32 in
+      let rec visit ~chain (s : summary) =
+        List.iter (fun (callee, loc) -> on_effect ~chain callee loc) s.effects;
+        List.iter
+          (fun (_, target) ->
+            let def =
+              match target with
+              | `Stamp s -> Index.resolve_stamp index s
+              | `Path p -> Index.resolve_path index p
+            in
+            match def with
+            | None -> ()
+            | Some def ->
+              let k = Index.def_key def in
+              if not (Hashtbl.mem visited k) then begin
+                Hashtbl.add visited k ();
+                visit ~chain:(chain @ [ def.display ]) (summary_of def)
+              end)
+          s.refs
+      in
+      Hashtbl.add visited (Index.def_key root) ();
+      visit ~chain:[ root.display ] (summary_of root)
+    in
+    let replayed = Hashtbl.create 64 in
+    List.iter
+      (walk ~on_effect:(fun ~chain:_ callee _ -> Hashtbl.replace replayed callee ()))
+      shard_roots;
+    let findings = ref [] in
+    let reported = Hashtbl.create 32 in
+    List.iter
+      (fun (root : Index.def) ->
+        walk root ~on_effect:(fun ~chain callee loc ->
+            if
+              (not (Hashtbl.mem replayed callee))
+              && not (Hashtbl.mem reported callee)
+            then begin
+              Hashtbl.add reported callee ();
+              findings :=
+                Finding.of_loc ~chain ~rule:rule_id ~key
+                  ~msg:
+                    (Printf.sprintf
+                       "sequential-path effect %s (reached via %s) has no arm in \
+                        any [@race.shard_root] replay cone — a sharded run would \
+                        silently diverge from the sequential engine; add the \
+                        opcode + replay arm, or justify with [@race.allow replay \
+                        \"...\"]"
+                       callee
+                       (String.concat " -> " chain))
+                  loc
+                :: !findings
+            end))
+      seq_roots;
+    List.rev !findings
+  end
+
+let rule : Drule.t =
+  {
+    id = rule_id;
+    key;
+    doc =
+      "barrier-replay completeness: every Trace/Stats/Registry/Obs/Rng callee \
+       reachable from a [@race.seq_root] must be reachable from some \
+       [@race.shard_root] replay cone";
+    run;
+  }
