@@ -41,6 +41,7 @@ let experiments =
     ("e19", Experiments.e19);
     ("e20", Micro.e20);
     ("e21", Micro.e21);
+    ("e22", Qos_bench.e22);
     ("micro", Micro.run);
     ("sim_core", Micro.sim_core);
   ]

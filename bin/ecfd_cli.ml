@@ -296,8 +296,9 @@ let transform_cmd =
 (* --- trace subcommand --- *)
 
 let trace_cmd =
-  let run protocol detector n seed gst delta horizon crashes format out shards =
+  let run protocol detector n seed gst delta horizon crashes format out shards profile =
     apply_shards shards;
+    if profile then Sim.Shard.set_default_profile true;
     let schedule = Sim.Fault.crashes crashes in
     let detector = to_detector ~schedule detector in
     let protocol =
@@ -317,7 +318,10 @@ let trace_cmd =
     in
     let rendered =
       match format with
-      | `Chrome -> Sim.Trace_export.chrome_string r.Scenario.trace
+      | `Chrome ->
+        Sim.Trace_export.chrome_string
+          ~profiler:(Sim.Engine.profiler_windows r.Scenario.engine)
+          r.Scenario.trace
       | `Jsonl -> Sim.Trace_export.jsonl_string r.Scenario.trace
     in
     match out with
@@ -353,7 +357,200 @@ let trace_cmd =
           value
           & opt (some string) None
           & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write to $(docv) instead of stdout.")
+      $ shards_arg
+      $ Arg.(
+          value & flag
+          & info [ "profile" ]
+              ~doc:
+                "Enable the sharded-engine runtime profiler (also: \\$(b,ECFD_PROFILE=1)); with \
+                 --format chrome the export gains a per-window profiler track (shard busy time, \
+                 barrier replay, op-log sizes).  Needs --shards >= 2 to produce records."))
+
+(* --- qos subcommand --- *)
+
+let qos_cmd =
+  let run detector n seed gst delta horizon crashes output shards =
+    apply_shards shards;
+    let schedule = Sim.Fault.crashes crashes in
+    let detector = to_detector ~schedule detector in
+    let handle, fdrun, _stats =
+      Scenario.fd_run ~net:(net ~seed ~gst ~delta) ~crashes:schedule ~horizon ~n ~detector ()
+    in
+    let component = Fd.Fd_handle.component handle in
+    let report = Sim.Trace_qos.report ~component ~n ~horizon fdrun.Spec.Fd_props.trace in
+    let json =
+      Obs.Rollup.to_json
+        [ { Obs.Rollup.name = Scenario.detector_name detector; component; report } ]
+    in
+    match output with
+    | None -> print_string json
+    | Some file ->
+      let oc = open_out_bin file in
+      output_string oc json;
+      close_out oc;
+      Format.eprintf "qos rollup written to %s@." file
+  in
+  let doc =
+    "Run a failure detector and emit its QoS / SLA rollup as JSON (detection time, mistake \
+     rate, query accuracy, availability; schema docs/schemas/qos.schema.json).  The output \
+     is byte-identical at every --shards value."
+  in
+  Cmd.v
+    (Cmd.info "qos" ~doc)
+    Term.(
+      const run
+      $ Arg.(
+          value
+          & opt detector_conv `Ec_from_leader
+          & info [ "detector"; "d" ] ~docv:"DETECTOR" ~doc:"Which detector to install.")
+      $ n_arg $ seed_arg $ gst_arg $ delta_arg $ horizon_arg $ crashes_arg
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write the JSON to $(docv) instead of stdout.")
       $ shards_arg)
+
+(* --- bench-diff subcommand --- *)
+
+(* Flatten a bench JSON document (BENCH_sim_core.json, BENCH_qos.json,
+   BENCH_experiments.json) into (path, number) leaves.  Array elements
+   are keyed by their identifying fields (name / n / shards / K) when
+   present, so rows still line up after a sweep is extended. *)
+let rec bench_flatten prefix (j : Tracequery_core.Json_min.t) acc =
+  let open Tracequery_core.Json_min in
+  match j with
+  | Int v -> (prefix, float_of_int v) :: acc
+  | Float v -> (prefix, v) :: acc
+  | Obj fields ->
+    List.fold_left
+      (fun acc (k, v) ->
+        bench_flatten (if prefix = "" then k else prefix ^ "." ^ k) v acc)
+      acc fields
+  | List items ->
+    let key i item =
+      match item with
+      | Obj fields ->
+        let ids =
+          List.filter_map
+            (fun k ->
+              match List.assoc_opt k fields with
+              | Some (Int v) -> Some (Printf.sprintf "%s=%d" k v)
+              | Some (String s) -> Some (Printf.sprintf "%s=%s" k s)
+              | _ -> None)
+            [ "name"; "n"; "shards"; "observer"; "subject" ]
+        in
+        if ids = [] then string_of_int i else String.concat "," ids
+      | _ -> string_of_int i
+    in
+    let _, acc =
+      List.fold_left
+        (fun (i, acc) item ->
+          (i + 1, bench_flatten (Printf.sprintf "%s[%s]" prefix (key i item)) item acc))
+        (0, acc) items
+    in
+    acc
+  | Null | Bool _ | String _ -> acc
+
+(* Which way is "worse"?  Throughput-like figures should not drop;
+   latency/error-like figures should not grow; anything else is
+   informational only. *)
+let bench_direction path =
+  let contains sub =
+    let n = String.length sub and m = String.length path in
+    let rec go i = i + n <= m && (String.sub path i n = sub || go (i + 1)) in
+    go 0
+  in
+  if
+    List.exists contains
+      [ "events_per_sec"; "availability"; "query_accuracy"; "speedup"; "\"detected" ]
+    || contains ".detected"
+  then `Higher_better
+  else if
+    List.exists contains
+      [
+        "words_per_event"; "minor_words"; "detection"; "mistake"; "downtime"; "outage";
+        "undetected"; "rate_per_1k";
+      ]
+  then `Lower_better
+  else `Neutral
+
+let bench_diff_cmd =
+  let run file_a file_b threshold =
+    let parse path =
+      let ic = open_in_bin path in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      try Tracequery_core.Json_min.parse text
+      with Tracequery_core.Json_min.Parse_error msg ->
+        Printf.eprintf "ecfd bench-diff: %s: %s\n" path msg;
+        exit 2
+    in
+    let flat path =
+      List.sort
+        (fun (pa, _) (pb, _) -> String.compare pa pb)
+        (bench_flatten "" (parse path) [])
+    in
+    let a = flat file_a and b = flat file_b in
+    let regressions = ref 0 and compared = ref 0 in
+    List.iter
+      (fun (path, va) ->
+        match List.assoc_opt path b with
+        | None -> ()
+        | Some vb ->
+          incr compared;
+          let pct =
+            if va <> 0.0 then 100.0 *. (vb -. va) /. Float.abs va
+            else if vb = 0.0 then 0.0
+            else 100.0
+          in
+          let dir = bench_direction path in
+          let worse =
+            match dir with
+            | `Higher_better -> pct < -.threshold
+            | `Lower_better -> pct > threshold
+            | `Neutral -> false
+          in
+          let better =
+            match dir with
+            | `Higher_better -> pct > threshold
+            | `Lower_better -> pct < -.threshold
+            | `Neutral -> false
+          in
+          if worse then begin
+            incr regressions;
+            Printf.printf "REGRESSION %-60s %14.4f -> %14.4f  (%+.1f%%)\n" path va vb pct
+          end
+          else if better then
+            Printf.printf "improved   %-60s %14.4f -> %14.4f  (%+.1f%%)\n" path va vb pct
+          else if Float.abs pct > threshold && dir = `Neutral then
+            Printf.printf "changed    %-60s %14.4f -> %14.4f  (%+.1f%%)\n" path va vb pct)
+      a;
+    List.iter
+      (fun (path, _) ->
+        if List.assoc_opt path a = None then Printf.printf "new        %s\n" path)
+      b;
+    Printf.printf "bench-diff: %d comparable metrics, %d regression(s) beyond %.1f%% (%s -> %s)\n"
+      !compared !regressions threshold file_a file_b;
+    if !regressions > 0 then exit 1
+  in
+  let doc =
+    "Compare two bench JSON files (BENCH_sim_core.json, BENCH_qos.json, ...): throughput, \
+     allocation and QoS deltas beyond a threshold; exits 1 when a directional metric \
+     regressed (throughput down, latency/mistakes up)."
+  in
+  Cmd.v
+    (Cmd.info "bench-diff" ~doc)
+    Term.(
+      const run
+      $ Arg.(required & pos 0 (some file) None & info [] ~docv:"BASELINE" ~doc:"Old bench JSON.")
+      $ Arg.(required & pos 1 (some file) None & info [] ~docv:"CURRENT" ~doc:"New bench JSON.")
+      $ Arg.(
+          value & opt float 10.0
+          & info [ "threshold" ] ~docv:"PCT"
+              ~doc:"Relative change (percent) below which a delta is noise."))
 
 (* --- sweep subcommand --- *)
 
@@ -553,6 +750,9 @@ let main =
   let doc = "Eventually consistent failure detectors (Larrea, Fernández, Arévalo) — simulator" in
   Cmd.group
     (Cmd.info "ecfd" ~doc ~version:"1.0.0")
-    [ fd_cmd; consensus_cmd; transform_cmd; sweep_cmd; trace_cmd; check_cmd ]
+    [
+      fd_cmd; consensus_cmd; transform_cmd; sweep_cmd; trace_cmd; qos_cmd; bench_diff_cmd;
+      check_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -3,6 +3,13 @@ type t = {
   component : string;
   views : Fd_view.t array;
   changes : (Sim.Pid.t * Fd_view.t) Sim.Signal.t;
+  (* [spans.(p).(q)]: the "suspicion" span opened when p started
+     suspecting q, closed when the suspicion is rescinded — open forever
+     when q really crashed.  Maintained here, by diffing consecutive
+     views in [set], so every detector gets complete suspicion spans
+     (they used to exist only where the implementation opened them by
+     hand, i.e. for the heartbeat <>P). *)
+  spans : Sim.Engine.span option array array;
 }
 
 let record t p =
@@ -11,15 +18,17 @@ let record t p =
     ~trusted:v.Fd_view.trusted
 
 let make engine ~component =
+  let n = Sim.Engine.n engine in
   let t =
     {
       engine;
       component;
-      views = Array.make (Sim.Engine.n engine) Fd_view.empty;
+      views = Array.make n Fd_view.empty;
       changes = Sim.Signal.create ();
+      spans = Array.init n (fun _ -> Array.make n None);
     }
   in
-  List.iter (fun p -> record t p) (Sim.Pid.all ~n:(Sim.Engine.n engine));
+  List.iter (fun p -> record t p) (Sim.Pid.all ~n);
   t
 
 let component t = t.component
@@ -32,6 +41,27 @@ let subscribe t f = Sim.Signal.subscribe t.changes (fun (p, v) -> f p v)
 
 let set t p v =
   if not (Fd_view.equal t.views.(p) v) then begin
+    let old = t.views.(p) in
+    (* Span bookkeeping before the view record, so a suspicion episode
+       reads Span_begin -> Fd_view in the trace (and Span_end ->
+       Fd_view on rescind), matching the order the heartbeat detector
+       used to emit by hand. *)
+    Sim.Pid.Set.iter
+      (fun q ->
+        if not (Sim.Pid.Set.mem q old.Fd_view.suspected) then
+          t.spans.(p).(q) <-
+            Some (Sim.Engine.begin_span t.engine p ~component:t.component ~name:"suspicion"))
+      v.Fd_view.suspected;
+    Sim.Pid.Set.iter
+      (fun q ->
+        if not (Sim.Pid.Set.mem q v.Fd_view.suspected) then begin
+          match t.spans.(p).(q) with
+          | Some s ->
+            Sim.Engine.end_span t.engine s;
+            t.spans.(p).(q) <- None
+          | None -> ()
+        end)
+      old.Fd_view.suspected;
     t.views.(p) <- v;
     record t p;
     Sim.Signal.emit t.changes (p, v)

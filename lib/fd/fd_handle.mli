@@ -31,7 +31,14 @@ val subscribe : t -> (Sim.Pid.t -> Fd_view.t -> unit) -> unit
 
 val set : t -> Sim.Pid.t -> Fd_view.t -> unit
 (** For detector implementations: publish a new view.  No-op when the view
-    is unchanged; otherwise traces and notifies subscribers. *)
+    is unchanged; otherwise traces and notifies subscribers.
+
+    Suspicion spans: diffing the old and new view, every newly suspected
+    process opens a ["suspicion"] span on the observer's track (before
+    the [Fd_view] record) and every rescinded suspicion closes it (a
+    span left open means the suspicion stood at the end of the run) — so
+    suspicion episodes are complete for every detector built on this
+    handle, whatever its internal mechanism. *)
 
 val update : t -> Sim.Pid.t -> (Fd_view.t -> Fd_view.t) -> unit
 (** [set] composed with a function of the current view. *)

@@ -13,8 +13,6 @@ type Sim.Payload.t += Alive
 type process_state = {
   last_heard : Sim.Sim_time.t array;  (** Per peer: last heartbeat receipt (or 0). *)
   timeout : int array;  (** Per peer: current time-out. *)
-  suspicion_spans : Sim.Engine.span option array;
-      (** Per peer: the span opened at suspicion, closed if rescinded. *)
 }
 
 let install ?(component = component) engine params =
@@ -34,26 +32,19 @@ let install ?(component = component) engine params =
         {
           last_heard = Array.make n Sim.Sim_time.zero;
           timeout = Array.make n params.initial_timeout;
-          suspicion_spans = Array.make n None;
         })
   in
   let suspect p q =
-    (* A suspicion episode is a span: it closes if the suspicion turns out
-       premature, and stays open forever when q really crashed. *)
+    (* The suspicion episode's span (opened here, closed if the suspicion
+       turns out premature, open forever when q really crashed) is
+       maintained by Fd_handle.set from the view diff. *)
     Obs.Registry.incr m_suspicions;
     Obs.Registry.observe m_detection_latency
       (Sim.Engine.now engine - states.(p).last_heard.(q));
-    states.(p).suspicion_spans.(q) <-
-      Some (Sim.Engine.begin_span engine p ~component ~name:"suspicion");
     Fd_handle.update handle p (fun v ->
         { v with Fd_view.suspected = Sim.Pid.Set.add q v.Fd_view.suspected })
   in
   let unsuspect p q =
-    (match states.(p).suspicion_spans.(q) with
-    | Some s ->
-      Sim.Engine.end_span engine s;
-      states.(p).suspicion_spans.(q) <- None
-    | None -> ());
     Fd_handle.update handle p (fun v ->
         { v with Fd_view.suspected = Sim.Pid.Set.remove q v.Fd_view.suspected })
   in

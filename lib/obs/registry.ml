@@ -174,9 +174,38 @@ type value =
       count : int;
       sum : int;
       max_value : int;
+      p50 : int;
+      p99 : int;
+      p999 : int;
     }
 
 type snapshot = (string * value) list
+
+(* Rank-based bucket quantile: rank ceil(q*count), walked over cumulative
+   bucket counts.  The estimate is the upper bound of the containing
+   bucket, clamped to the largest observation (the bound can overshoot
+   when the bucket is only partially filled); the overflow bucket has no
+   bound and reports [max_value] directly.  Pure integer arithmetic over
+   the deterministic counts, so the estimate is deterministic too. *)
+let histogram_quantile ~buckets ~counts ~count ~max_value q =
+  if count <= 0 then 0
+  else begin
+    let rank =
+      let r = int_of_float (Float.ceil (q *. float_of_int count)) in
+      Stdlib.min count (Stdlib.max 1 r)
+    in
+    let bounds = Array.of_list buckets in
+    let n = Array.length bounds in
+    let rec walk i cum counts =
+      match counts with
+      | [] -> max_value
+      | c :: rest ->
+        let cum = cum + c in
+        if cum >= rank then if i < n then Stdlib.min bounds.(i) max_value else max_value
+        else walk (i + 1) cum rest
+    in
+    walk 0 0 counts
+  end
 
 (* Sorted so the snapshot is independent of registration order — the same
    rule Stats.snapshot follows (HACKING.md, "Determinism rules"). *)
@@ -188,13 +217,21 @@ let snapshot t =
         | M_counter c -> Counter c.count
         | M_gauge g -> Gauge g.level
         | M_histogram h ->
+          let buckets = Array.to_list h.bounds in
+          let counts = Array.to_list h.bucket_counts in
+          let q =
+            histogram_quantile ~buckets ~counts ~count:h.h_count ~max_value:h.h_max
+          in
           Histogram
             {
-              buckets = Array.to_list h.bounds;
-              counts = Array.to_list h.bucket_counts;
+              buckets;
+              counts;
               count = h.h_count;
               sum = h.h_sum;
               max_value = h.h_max;
+              p50 = q 0.5;
+              p99 = q 0.99;
+              p999 = q 0.999;
             }
       in
       (name, v) :: acc)
@@ -245,12 +282,12 @@ let json_of_snapshot snap =
       | Gauge g ->
         Buffer.add_string buf
           (Printf.sprintf "{\"name\":\"%s\",\"kind\":\"gauge\",\"value\":%d}" (json_escape name) g)
-      | Histogram { buckets; counts; count; sum; max_value } ->
+      | Histogram { buckets; counts; count; sum; max_value; p50; p99; p999 } ->
         Buffer.add_string buf
           (Printf.sprintf
-             "{\"name\":\"%s\",\"kind\":\"histogram\",\"buckets\":%s,\"counts\":%s,\"count\":%d,\"sum\":%d,\"max\":%d}"
+             "{\"name\":\"%s\",\"kind\":\"histogram\",\"buckets\":%s,\"counts\":%s,\"count\":%d,\"sum\":%d,\"max\":%d,\"p50\":%d,\"p99\":%d,\"p999\":%d}"
              (json_escape name) (json_int_list buckets) (json_int_list counts) count sum
-             max_value)))
+             max_value p50 p99 p999)))
     snap;
   Buffer.add_string buf "]}";
   Buffer.contents buf

@@ -87,10 +87,24 @@ type value =
       count : int;
       sum : int;
       max_value : int;  (** Largest observation; 0 when [count = 0]. *)
+      p50 : int;  (** Median estimate from bucket counts (see below). *)
+      p99 : int;
+      p999 : int;
     }
 
 type snapshot = (string * value) list
 (** In strictly increasing name order. *)
+
+val histogram_quantile :
+  buckets:int list -> counts:int list -> count:int -> max_value:int -> float -> int
+(** [histogram_quantile ~buckets ~counts ~count ~max_value q] estimates the
+    [q]-quantile of a histogram from its bucket counts: the rank
+    [ceil (q * count)] (clamped to [1 .. count]) is located in the
+    cumulative bucket counts, and the estimate is that bucket's inclusive
+    upper bound, clamped to [max_value]; a rank landing in the overflow
+    bucket reports [max_value].  [0] when [count = 0].  Deterministic —
+    a pure function of the (deterministic) counts, so p50/p99/p999 can
+    ride in bench JSON under the byte-identity contract. *)
 
 val snapshot : t -> snapshot
 

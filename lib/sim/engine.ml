@@ -166,6 +166,9 @@ let window_stats t =
   | None -> (0, 0, 0, 0)
   | Some st ->
     (Shard.windows st, Shard.null_windows st, Shard.direct_steps st, Shard.shard_windows st)
+let profiler_windows t =
+  match t.shards with None -> [] | Some st -> Shard.profile st
+
 let trace t = t.trace
 let stats t = t.stats
 let obs t = t.obs

@@ -59,6 +59,12 @@ val window_stats : t -> int * int * int * int
     [shard_windows] counts (window, active shard) pairs.  Experiment e21
     derives window count and null-window fraction from these. *)
 
+val profiler_windows : t -> Shard.window_profile list
+(** Per-window runtime-profiler records of the sharded back-end, in
+    chronological order — empty sequentially, or when profiling was off
+    at engine creation (see {!Shard.default_profile} / [ECFD_PROFILE]).
+    {!Trace_export.chrome} renders these as a profiler track. *)
+
 val trace : t -> Trace.t
 val stats : t -> Stats.t
 

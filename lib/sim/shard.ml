@@ -66,6 +66,64 @@ type gkind = Crash_now of Pid.t | Harness of (unit -> unit)
    [prov_base + window allocations] cannot overflow. *)
 let prov_base = 1 lsl 60
 
+(* ------------------------------------------------------------------ *)
+(* Runtime-profiler configuration.  Off by default: the profiler adds
+   wall-clock reads and a per-window record allocation to the drive
+   loop, and its obs histograms would appear in every snapshot, so it
+   is an explicit opt-in ([set_default_profile] / [ECFD_PROFILE=1]).
+   The profiler only observes — simulated state never reads it — so
+   trace bytes, stats and stdout stay byte-identical with it on or
+   off; only the obs snapshot (its own histograms) and wall-clock
+   figures differ. *)
+
+let profile_override = ref None
+
+let env_profile =
+  lazy
+    (match Sys.getenv_opt "ECFD_PROFILE" with
+    | Some ("1" | "true" | "yes") -> Some true
+    | Some _ | None -> None)
+
+let default_profile () =
+  match
+    (!profile_override
+    [@race.allow publish
+        "written only by the coordinator between runs (set_default_profile / \
+         with_profile); Domain.spawn publishes the value, and a nested engine \
+         built inside a job only reads it"])
+  with
+  | Some b -> b
+  | None -> ( match Lazy.force env_profile with Some b -> b | None -> false)
+
+let set_default_profile b = profile_override := Some b
+
+let with_profile b f =
+  let prev = !profile_override in
+  profile_override := Some b;
+  Fun.protect ~finally:(fun () -> profile_override := prev) f
+
+(* One record per parallel window (direct steps excluded), captured at
+   the barrier.  Sim-time and op-log fields are deterministic at a given
+   shard count; the [_s] fields are host wall-clock. *)
+type window_profile = {
+  wp_from : Sim_time.t;
+  wp_until : Sim_time.t;
+  wp_active : int;
+  wp_events : int array;  (* per shard: events executed this window *)
+  wp_ops_words : int array;  (* per shard: op-log words replayed *)
+  wp_busy_s : float array;  (* per shard: in-window wall-clock *)
+  wp_replay_s : float;  (* barrier replay + mailbox flush wall-clock *)
+}
+
+type prof_metrics = {
+  pm_window_span : Obs.Registry.histogram;
+  pm_window_events : Obs.Registry.histogram;
+  pm_ops_words : Obs.Registry.histogram;
+  pm_imbalance : Obs.Registry.histogram;
+  pm_busy_us : Obs.Registry.histogram;
+  pm_replay_us : Obs.Registry.histogram;
+}
+
 (* Op log opcodes.  Every group starts with a STEP carrying the executed
    event's (time, raw seq); the ops that follow, in program order, are
    the globally visible effects that event performed.  Arity includes
@@ -172,6 +230,12 @@ type state = {
   mutable null_windows : int;
   mutable direct_steps : int;
   mutable shard_windows : int;
+  (* Profiler (opt-in; [prof = None] means every profiling branch below
+     is dead and the drive loop is exactly the unprofiled one). *)
+  prof : prof_metrics option;
+  prof_busy : float array;  (* k scratch slots; slot i written only by
+                               the domain running shard i's window *)
+  mutable prof_rev : window_profile list;  (* newest first *)
 }
 
 (* Domain-local execution context: which shard (of which state) the
@@ -926,26 +990,81 @@ let[@race.shard_root] finish_window st =
 (* ------------------------------------------------------------------ *)
 (* Drive loop. *)
 
+(* Profiled variant of a shard's window job: same work, bracketed by
+   wall-clock reads into the shard's private scratch slot. *)
+let run_shard_window_timed st sh w1 =
+  let t0 = Exec.Pool.wall () in
+  run_shard_window st sh w1;
+  (* Each worker writes only its own shard's scratch slot, and the pool
+     barrier publishes the writes before the coordinator reads them. *)
+  st.prof_busy.(sh.sid) <- Exec.Pool.wall () -. t0
+
+(* Capture the window's record at the barrier: op-log sizes and event
+   counts are read before [finish_window] resets them, the replay
+   bracket times [finish_window] itself.  Runs on the coordinating
+   domain, outside any window, so the histogram updates below go
+   straight to the registry (the capture hook declines). *)
+let profile_window st pm ~from ~until ~active =
+  let events = Array.init st.k (fun i -> st.shards.(i).window_events) in
+  let ops_words = Array.init st.k (fun i -> st.shards.(i).ops_len) in
+  let r0 = Exec.Pool.wall () in
+  finish_window st;
+  let replay_s = Exec.Pool.wall () -. r0 in
+  let busy_s = Array.sub st.prof_busy 0 st.k in
+  let total_events = Array.fold_left ( + ) 0 events in
+  let max_events = Array.fold_left Stdlib.max 0 events in
+  (* max/mean over the active shards, in percent: 100 = perfectly
+     balanced, 300 = the busiest shard had 3x the mean load. *)
+  let imbalance_x100 =
+    if total_events = 0 then 100 else 100 * max_events * active / total_events
+  in
+  Obs.Registry.observe pm.pm_window_span (until - from);
+  Obs.Registry.observe pm.pm_window_events total_events;
+  Obs.Registry.observe pm.pm_ops_words (Array.fold_left ( + ) 0 ops_words);
+  Obs.Registry.observe pm.pm_imbalance imbalance_x100;
+  Array.iteri
+    (fun i busy ->
+      if events.(i) > 0 then
+        Obs.Registry.observe pm.pm_busy_us (int_of_float (busy *. 1e6)))
+    busy_s;
+  Obs.Registry.observe pm.pm_replay_us (int_of_float (replay_s *. 1e6));
+  st.prof_rev <-
+    { wp_from = from; wp_until = until; wp_active = active; wp_events = events;
+      wp_ops_words = ops_words; wp_busy_s = busy_s; wp_replay_s = replay_s }
+    :: st.prof_rev
+
 let run_window st w1 =
   st.windows <- st.windows + 1;
   let active = ref 0 in
   let last_active = ref (-1) in
+  let from = ref max_int in
   for i = 0 to st.k - 1 do
-    if next_local st.shards.(i) < w1 then begin
+    let nl = next_local st.shards.(i) in
+    if nl < w1 then begin
       incr active;
-      last_active := i
+      last_active := i;
+      if nl < !from then from := nl
     end
   done;
   st.shard_windows <- st.shard_windows + !active;
+  let profiled = st.prof <> None in
+  if profiled then Array.fill st.prof_busy 0 st.k 0.0;
   if !active <= 1 then begin
     st.null_windows <- st.null_windows + 1;
-    if !active = 1 then run_shard_window st st.shards.(!last_active) w1
+    if !active = 1 then begin
+      let sh = st.shards.(!last_active) in
+      if profiled then run_shard_window_timed st sh w1 else run_shard_window st sh w1
+    end
   end
   else begin
     let jobs = ref [] in
     for i = st.k - 1 downto 0 do
       let sh = st.shards.(i) in
-      if next_local sh < w1 then jobs := (fun () -> run_shard_window st sh w1) :: !jobs
+      if next_local sh < w1 then
+        jobs :=
+          (if profiled then fun () -> run_shard_window_timed st sh w1
+           else fun () -> run_shard_window st sh w1)
+          :: !jobs
     done;
     ignore
       (Exec.Pool.run
@@ -955,7 +1074,9 @@ let run_window st w1 =
               the closures, not the list cell, cross domains"])
         : unit list)
   end;
-  finish_window st
+  match st.prof with
+  | Some pm -> profile_window st pm ~from:!from ~until:w1 ~active:!active
+  | None -> finish_window st
 
 let direct_step st =
   let best_at = ref max_int in
@@ -1162,6 +1283,8 @@ let windows st = st.windows
 let null_windows st = st.null_windows
 let direct_steps st = st.direct_steps
 let shard_windows st = st.shard_windows
+let profiling st = st.prof <> None
+let profile st = List.rev st.prof_rev
 
 let compact st =
   if in_window st then invalid_arg "Engine.compact: forbidden inside a parallel window";
@@ -1265,6 +1388,31 @@ let create ~k ~n ~link ~rng ~alive ~handlers ~trace ~stats ~obs ~m_delivery_late
     ~m_span_duration ~m_queue_depth_hw ~m_timer_residency_hw ~m_timer_set ~m_timer_fired
     ~m_timer_cancelled ~m_timer_orphaned () =
   if k < 1 then invalid_arg "Shard.create: k must be >= 1";
+  let prof =
+    if not (default_profile ()) then None
+    else
+      Some
+        {
+          pm_window_span =
+            Obs.Registry.histogram obs ~name:"profiler.window_span_ticks"
+              ~buckets:[ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024; 4096 ];
+          pm_window_events =
+            Obs.Registry.histogram obs ~name:"profiler.window_events"
+              ~buckets:[ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024; 4096; 16384 ];
+          pm_ops_words =
+            Obs.Registry.histogram obs ~name:"profiler.window_op_log_words"
+              ~buckets:[ 4; 16; 64; 256; 1024; 4096; 16384; 65536; 262144 ];
+          pm_imbalance =
+            Obs.Registry.histogram obs ~name:"profiler.shard_imbalance_x100"
+              ~buckets:[ 100; 110; 125; 150; 200; 300; 400; 800 ];
+          pm_busy_us =
+            Obs.Registry.histogram obs ~name:"profiler.shard_busy_us"
+              ~buckets:[ 1; 2; 5; 10; 20; 50; 100; 200; 500; 1000; 2000; 5000; 10000 ];
+          pm_replay_us =
+            Obs.Registry.histogram obs ~name:"profiler.barrier_replay_us"
+              ~buckets:[ 1; 2; 5; 10; 20; 50; 100; 200; 500; 1000; 2000; 5000; 10000 ];
+        }
+  in
   let st =
     {
       k;
@@ -1304,6 +1452,9 @@ let create ~k ~n ~link ~rng ~alive ~handlers ~trace ~stats ~obs ~m_delivery_late
       null_windows = 0;
       direct_steps = 0;
       shard_windows = 0;
+      prof;
+      prof_busy = Array.make k 0.0;
+      prof_rev = [];
     }
   in
   (* Both hooks run on whichever domain performs the Trace/Obs call —

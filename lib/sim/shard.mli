@@ -48,6 +48,22 @@
 
 type state
 
+(** One record per parallel window (direct steps are excluded), captured
+    at the window barrier when profiling is enabled.  The sim-time and
+    op-log fields ([wp_from], [wp_until], [wp_active], [wp_events],
+    [wp_ops_words]) are deterministic at a given shard count; the [_s]
+    fields are host wall-clock seconds and vary run to run.  Arrays are
+    indexed by shard id (length [k]). *)
+type window_profile = {
+  wp_from : Sim_time.t;  (** first event instant in the window *)
+  wp_until : Sim_time.t;  (** exclusive window bound [W1] *)
+  wp_active : int;  (** shards that had events this window *)
+  wp_events : int array;  (** per shard: events executed *)
+  wp_ops_words : int array;  (** per shard: op-log words replayed *)
+  wp_busy_s : float array;  (** per shard: in-window wall-clock *)
+  wp_replay_s : float;  (** barrier replay + mailbox flush wall-clock *)
+}
+
 val create :
   k:int ->
   n:int ->
@@ -140,6 +156,26 @@ val shard_windows : state -> int
 (** Total (window, active shard) pairs — [shard_windows /. windows] is
     the mean fan-out per window. *)
 
+(** {2 Runtime profiler} — per-window records (opt-in).
+
+    When enabled at engine creation (see {!default_profile}), every
+    parallel window appends a {!window_profile} record and feeds six
+    registry histograms ([profiler.window_span_ticks],
+    [profiler.window_events], [profiler.window_op_log_words],
+    [profiler.shard_imbalance_x100], [profiler.shard_busy_us],
+    [profiler.barrier_replay_us]).  The profiler never feeds back into
+    simulated state: trace bytes, stats and stdout are byte-identical
+    with it on or off.  Obs snapshots gain the profiler histograms (and
+    their wall-clock figures), so fingerprint comparisons should run
+    with it off — which is why it is off by default. *)
+
+val profiling : state -> bool
+(** Whether this state was created with profiling enabled. *)
+
+val profile : state -> window_profile list
+(** The per-window records so far, in chronological order.  Empty when
+    profiling is disabled. *)
+
 (** {2 Shard-count configuration} — mirrors [Exec.Pool]'s domain-count
     plumbing so benches and the CLI wire [--shards]/[ECFD_SHARDS]
     through one switch. *)
@@ -152,4 +188,14 @@ val default_shards : unit -> int
 val set_default_shards : int -> unit
 val with_shards : int -> (unit -> 'a) -> 'a
 (** Run a thunk with the default shard count overridden, restoring the
+    previous default afterwards (exception-safe). *)
+
+val default_profile : unit -> bool
+(** Process-wide default for the runtime profiler, sampled at engine
+    creation: the value set by {!set_default_profile} if any, else true
+    iff [ECFD_PROFILE] is [1]/[true]/[yes], else false. *)
+
+val set_default_profile : bool -> unit
+val with_profile : bool -> (unit -> 'a) -> 'a
+(** Run a thunk with the profiler default overridden, restoring the
     previous default afterwards (exception-safe). *)

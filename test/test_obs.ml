@@ -73,8 +73,140 @@ let registry_tests =
         Obs.Registry.observe (Obs.Registry.histogram r ~name:"h" ~buckets:[ 2 ]) 1;
         Alcotest.(check string)
           "exact JSON"
-          "{\"metrics\":[{\"name\":\"c\",\"kind\":\"counter\",\"value\":3},{\"name\":\"g\",\"kind\":\"gauge\",\"value\":9},{\"name\":\"h\",\"kind\":\"histogram\",\"buckets\":[2],\"counts\":[1,0],\"count\":1,\"sum\":1,\"max\":1}]}"
+          "{\"metrics\":[{\"name\":\"c\",\"kind\":\"counter\",\"value\":3},{\"name\":\"g\",\"kind\":\"gauge\",\"value\":9},{\"name\":\"h\",\"kind\":\"histogram\",\"buckets\":[2],\"counts\":[1,0],\"count\":1,\"sum\":1,\"max\":1,\"p50\":1,\"p99\":1,\"p999\":1}]}"
           (Obs.Registry.json_of_snapshot (Obs.Registry.snapshot r)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Update interception (the sharded engine's capture/replay hook)      *)
+(* ------------------------------------------------------------------ *)
+
+let hook_tests =
+  [
+    tc "capturing hook defers updates until apply" (fun () ->
+        let r = Obs.Registry.create () in
+        let c = Obs.Registry.counter r ~name:"c" in
+        let ops = ref [] in
+        Obs.Registry.set_hook r
+          (Some
+             (fun op ->
+               ops := op :: !ops;
+               true));
+        Obs.Registry.incr c;
+        Obs.Registry.add c 4;
+        Obs.Registry.set_hook r None;
+        Alcotest.(check bool)
+          "nothing applied while captured" true
+          (Obs.Registry.snapshot r = [ ("c", Obs.Registry.Counter 0) ]);
+        List.iter Obs.Registry.apply (List.rev !ops);
+        Alcotest.(check bool)
+          "apply replays the captured updates" true
+          (Obs.Registry.snapshot r = [ ("c", Obs.Registry.Counter 5) ]));
+    tc "a declining hook lets updates through directly" (fun () ->
+        let r = Obs.Registry.create () in
+        let c = Obs.Registry.counter r ~name:"c" in
+        let calls = ref 0 in
+        Obs.Registry.set_hook r
+          (Some
+             (fun _op ->
+               incr calls;
+               false));
+        Obs.Registry.add c 7;
+        Obs.Registry.set_hook r None;
+        Alcotest.(check int) "hook consulted" 1 !calls;
+        Alcotest.(check bool)
+          "update applied directly" true
+          (Obs.Registry.snapshot r = [ ("c", Obs.Registry.Counter 7) ]));
+    tc "apply bypasses an installed capturing hook" (fun () ->
+        (* The barrier replays ops while the hook is still installed for
+           the next window — apply must never re-enter the hook. *)
+        let r = Obs.Registry.create () in
+        let c = Obs.Registry.counter r ~name:"c" in
+        let calls = ref 0 and ops = ref [] in
+        Obs.Registry.set_hook r
+          (Some
+             (fun op ->
+               incr calls;
+               ops := op :: !ops;
+               true));
+        Obs.Registry.incr c;
+        List.iter Obs.Registry.apply (List.rev !ops);
+        Obs.Registry.set_hook r None;
+        Alcotest.(check int) "hook saw only the original update" 1 !calls;
+        Alcotest.(check bool)
+          "applied exactly once" true
+          (Obs.Registry.snapshot r = [ ("c", Obs.Registry.Counter 1) ]));
+    tc "noop_op applies without changing anything" (fun () ->
+        let r = Obs.Registry.create () in
+        Obs.Registry.add (Obs.Registry.counter r ~name:"c") 2;
+        let before = Obs.Registry.snapshot r in
+        Obs.Registry.apply Obs.Registry.noop_op;
+        Alcotest.(check bool) "snapshot unchanged" true (Obs.Registry.snapshot r = before));
+    tc "gauge and histogram updates round-trip through capture" (fun () ->
+        let r = Obs.Registry.create () in
+        let g = Obs.Registry.gauge r ~name:"g" in
+        let h = Obs.Registry.histogram r ~name:"h" ~buckets:[ 10 ] in
+        let ops = ref [] in
+        Obs.Registry.set_hook r
+          (Some
+             (fun op ->
+               ops := op :: !ops;
+               true));
+        Obs.Registry.set_max g 9;
+        Obs.Registry.set_max g 3;
+        Obs.Registry.observe h 4;
+        Obs.Registry.observe h 25;
+        Obs.Registry.set_hook r None;
+        List.iter Obs.Registry.apply (List.rev !ops);
+        (match Obs.Registry.snapshot r with
+        | [ ("g", Obs.Registry.Gauge v); ("h", Obs.Registry.Histogram hv) ] ->
+          Alcotest.(check int) "set_max high-water survives replay" 9 v;
+          Alcotest.(check (list int)) "bucket + overflow" [ 1; 1 ] hv.counts;
+          Alcotest.(check int) "sum" 29 hv.sum;
+          Alcotest.(check int) "max" 25 hv.max_value
+        | _ -> Alcotest.fail "expected one gauge and one histogram"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Quantile estimation from bucket counts                              *)
+(* ------------------------------------------------------------------ *)
+
+let quantile_tests =
+  let q ~buckets ~counts ~count ~max_value p =
+    Obs.Registry.histogram_quantile ~buckets ~counts ~count ~max_value p
+  in
+  [
+    tc "empty histogram reports 0 at every quantile" (fun () ->
+        List.iter
+          (fun p ->
+            Alcotest.(check int) "zero" 0
+              (q ~buckets:[ 10; 100 ] ~counts:[ 0; 0; 0 ] ~count:0 ~max_value:0 p))
+          [ 0.5; 0.99; 0.999 ]);
+    tc "estimate is the bucket bound, clamped to the max observation" (fun () ->
+        (* Four observations all <= 7 land in the [10] bucket: the bound
+           over-estimates, the max clamps it back. *)
+        Alcotest.(check int) "clamped" 7
+          (q ~buckets:[ 10 ] ~counts:[ 4; 0 ] ~count:4 ~max_value:7 0.5));
+    tc "rank sits exactly on a bucket boundary" (fun () ->
+        let buckets = [ 10; 20 ] and counts = [ 5; 5; 0 ] in
+        (* rank ceil(0.5 * 10) = 5 is the last observation of the first
+           bucket; one observation later crosses into the second. *)
+        Alcotest.(check int) "p50 on the boundary" 10
+          (q ~buckets ~counts ~count:10 ~max_value:20 0.5);
+        Alcotest.(check int) "just past the boundary" 20
+          (q ~buckets ~counts ~count:10 ~max_value:20 0.51));
+    tc "rank clamps to 1 at q = 0" (fun () ->
+        Alcotest.(check int) "first bucket" 10
+          (q ~buckets:[ 10; 20 ] ~counts:[ 5; 5; 0 ] ~count:10 ~max_value:20 0.0));
+    tc "overflow bucket reports the max observation" (fun () ->
+        Alcotest.(check int) "overflow" 250
+          (q ~buckets:[ 10 ] ~counts:[ 1; 1 ] ~count:2 ~max_value:250 0.99));
+    tc "p999 needs one in a thousand past the bucket" (fun () ->
+        let buckets = [ 10; 20 ] in
+        Alcotest.(check int) "999/1 stays in the first bucket" 10
+          (q ~buckets ~counts:[ 999; 1; 0 ] ~count:1000 ~max_value:20 0.999);
+        Alcotest.(check int) "998/2 crosses" 20
+          (q ~buckets ~counts:[ 998; 2; 0 ] ~count:1000 ~max_value:20 0.999));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -196,6 +328,8 @@ let query_tests =
 let suites =
   [
     ("obs.registry", registry_tests);
+    ("obs.hooks", hook_tests);
+    ("obs.quantiles", quantile_tests);
     ("obs.golden_exports", golden_tests);
     ("obs.tracequery", query_tests);
   ]

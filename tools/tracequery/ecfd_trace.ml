@@ -5,6 +5,7 @@
      ecfd-trace ancestry TRACE.jsonl --seq 123
      ecfd-trace diff A.jsonl B.jsonl
      ecfd-trace validate FILE --schema S.schema.json [--jsonl]
+     ecfd-trace rollup TRACE.jsonl [--component C] [--n N] [--horizon T]
 *)
 
 open Cmdliner
@@ -164,10 +165,56 @@ let validate_cmd =
           value & flag
           & info [ "jsonl" ] ~doc:"Validate every line as its own document (JSONL exports)."))
 
+(* --- rollup --- *)
+
+let rollup_cmd =
+  let run path component n horizon output =
+    let json =
+      try Qos_rollup.of_lines ?n ?horizon ?component (Trace_file.read_lines path)
+      with Qos_rollup.Bad msg ->
+        Printf.eprintf "ecfd-trace: %s: %s\n" path msg;
+        exit 2
+    in
+    match output with
+    | None -> print_string json
+    | Some f ->
+      let oc = open_out f in
+      output_string oc json;
+      close_out oc
+  in
+  let doc =
+    "QoS / SLA rollup of a JSONL trace export (detection time, mistake rate, availability; \
+     one scenario per failure-detector component; schema docs/schemas/qos.schema.json)."
+  in
+  Cmd.v
+    (Cmd.info "rollup" ~doc)
+    Term.(
+      const run
+      $ file_arg ~n:0 ~doc:"JSONL trace export."
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "component"; "c" ] ~docv:"NAME"
+              ~doc:"Roll up only this detector component (default: every component seen).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "n" ] ~docv:"N"
+              ~doc:"Process count (default: inferred as max pid in the trace + 1).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "horizon" ] ~docv:"T"
+              ~doc:"Run horizon in ticks (default: inferred as the last event time).")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Write the JSON here instead of stdout."))
+
 let main =
   let doc = "Query, compare and validate ecfd trace exports" in
   Cmd.group
     (Cmd.info "ecfd-trace" ~doc ~version:"1.0.0")
-    [ filter_cmd; ancestry_cmd; diff_cmd; validate_cmd ]
+    [ filter_cmd; ancestry_cmd; diff_cmd; validate_cmd; rollup_cmd ]
 
 let () = exit (Cmd.eval main)

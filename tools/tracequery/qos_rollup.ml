@@ -1,0 +1,101 @@
+(* QoS rollups over an exported JSONL trace.
+
+   Re-parses the lines with Json_min rather than going through
+   Trace_file.event, because the typed event drops the fd_view payload
+   (suspected list, trusted) the QoS fold needs.  One scenario is
+   emitted per failure-detector component found in the trace (name
+   order), or just the one selected with ?component; n and the horizon
+   default to what the trace itself shows (max pid + 1, last event
+   time).  The fold and the JSON renderer are the same code `ecfd qos`
+   and bench e22 use (Obs.Qos / Obs.Rollup), so a rollup over an
+   exported trace is byte-identical to the in-process rollup of the
+   run that exported it, given the same n and horizon. *)
+
+type raw =
+  | R_crash of { at : int; pid : int }
+  | R_view of {
+      at : int;
+      observer : int;
+      component : string;
+      suspected : int list;
+      trusted : int option;
+    }
+  | R_other
+
+exception Bad of string
+
+let parse_line ~lineno line =
+  let fail msg = raise (Bad (Printf.sprintf "line %d: %s" lineno msg)) in
+  let j = try Json_min.parse line with Json_min.Parse_error m -> fail m in
+  let at = Json_min.int_field j "at" ~default:0 in
+  match Option.bind (Json_min.member "type" j) Json_min.to_string with
+  | None -> fail "missing \"type\""
+  | Some "crash" -> (R_crash { at; pid = Json_min.int_field j "pid" ~default:0 }, at, Json_min.int_field j "pid" ~default:0)
+  | Some "fd_view" ->
+    let observer = Json_min.int_field j "pid" ~default:0 in
+    let suspected =
+      match Json_min.member "suspected" j with
+      | Some (Json_min.List vs) -> List.filter_map Json_min.to_int vs
+      | _ -> []
+    in
+    let trusted = Option.bind (Json_min.member "trusted" j) Json_min.to_int in
+    let component = Json_min.string_field j "component" ~default:"" in
+    let max_pid =
+      List.fold_left Stdlib.max
+        (match trusted with Some t -> Stdlib.max observer t | None -> observer)
+        suspected
+    in
+    (R_view { at; observer; component; suspected; trusted }, at, max_pid)
+  | Some _ ->
+    let max_pid =
+      List.fold_left
+        (fun acc k -> Stdlib.max acc (Json_min.int_field j k ~default:(-1)))
+        (-1) [ "pid"; "src"; "dst" ]
+    in
+    (R_other, at, max_pid)
+
+let of_lines ?n ?horizon ?component lines =
+  let raws, max_at, max_pid =
+    let _, raws, max_at, max_pid =
+      List.fold_left
+        (fun (lineno, raws, max_at, max_pid) line ->
+          if String.trim line = "" then (lineno + 1, raws, max_at, max_pid)
+          else begin
+            let raw, at, pid = parse_line ~lineno line in
+            (lineno + 1, raw :: raws, Stdlib.max max_at at, Stdlib.max max_pid pid)
+          end)
+        (1, [], 0, -1) lines
+    in
+    (List.rev raws, max_at, max_pid)
+  in
+  let n = Stdlib.max 1 (match n with Some n -> n | None -> max_pid + 1) in
+  let horizon = match horizon with Some h -> h | None -> max_at in
+  let components =
+    match component with
+    | Some c -> [ c ]
+    | None ->
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (function
+          | R_view { component; _ } when component <> "" ->
+            if not (Hashtbl.mem seen component) then Hashtbl.add seen component ()
+          | _ -> ())
+        raws;
+      List.sort String.compare (Hashtbl.fold (fun c () acc -> c :: acc) seen [])
+  in
+  let scenarios =
+    List.map
+      (fun c ->
+        let fold = Obs.Qos.create ~n in
+        List.iter
+          (function
+            | R_crash { at; pid } -> Obs.Qos.feed fold (Obs.Qos.Crash { at; pid })
+            | R_view { at; observer; component; suspected; trusted }
+              when String.equal component c ->
+              Obs.Qos.feed fold (Obs.Qos.View { at; observer; suspected; trusted })
+            | _ -> ())
+          raws;
+        { Obs.Rollup.name = c; component = c; report = Obs.Qos.finish fold ~horizon })
+      components
+  in
+  Obs.Rollup.to_json scenarios
